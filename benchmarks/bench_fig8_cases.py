@@ -1,0 +1,21 @@
+"""Figure 8 — qualitative explanation case studies.
+
+Prints per-history-item Ŵ, α and combined scores for selected test cases,
+marking the ground-truth causes — the textual analogue of the paper's
+picture-based case studies.
+"""
+
+from repro.exp import BenchmarkSettings, figure8_case_studies
+
+
+def test_fig8_case_studies(benchmark, emit):
+    settings = BenchmarkSettings()
+    result = benchmark.pedantic(
+        figure8_case_studies,
+        kwargs={"settings": settings, "num_cases": 4},
+        rounds=1, iterations=1)
+    emit(result.render())
+    assert len(result.cases) == 4
+    for case in result.cases:
+        assert "true causes" in case
+        assert "W_hat" in case

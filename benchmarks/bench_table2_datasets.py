@@ -1,0 +1,19 @@
+"""Table II — dataset statistics for the five scaled profiles.
+
+Regenerates the paper's statistics table (users, items, interactions,
+average sequence length, sparsity) and times dataset generation.
+"""
+
+from repro.exp import BenchmarkSettings, table2_statistics
+
+
+def test_table2_dataset_statistics(benchmark, emit):
+    settings = BenchmarkSettings()
+    result = benchmark.pedantic(table2_statistics, args=(settings,),
+                                rounds=1, iterations=1)
+    emit(result.render())
+    assert len(result.rows) == 5
+    # Every profile preserves Table II's extreme-sparsity character.
+    for row in result.rows:
+        sparsity = float(row[5].rstrip("%"))
+        assert sparsity > 80.0

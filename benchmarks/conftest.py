@@ -1,0 +1,24 @@
+"""Shared benchmark fixtures.
+
+``emit`` prints rendered tables through the captured-output barrier and
+archives them under ``benchmarks/results/`` so every bench run leaves the
+regenerated paper tables on disk.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit(capsys, request):
+    """Print visibly and archive the rendered experiment output."""
+    def _emit(text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out_file = RESULTS_DIR / f"{request.node.name}.txt"
+        out_file.write_text(text + "\n")
+        with capsys.disabled():
+            print("\n" + text)
+    return _emit

@@ -1,0 +1,52 @@
+"""Standalone causal discovery with NOTEARS (§II-B / Theorem 1 demo).
+
+Simulates data from a random ground-truth DAG, recovers the structure with
+the linear NOTEARS solver and verifies Markov equivalence — the empirical
+counterpart of the paper's identifiability analysis.
+
+Run:  python examples/causal_discovery.py
+"""
+
+import numpy as np
+
+from repro.causal import (evaluate_structure, notears_linear, random_dag,
+                          run_identifiability_study, simulate_linear_sem,
+                          standardize, weighted_dag)
+
+
+def single_recovery_demo() -> None:
+    rng = np.random.default_rng(7)
+    truth = random_dag(num_nodes=8, edge_prob=0.3, rng=rng)
+    weights = weighted_dag(truth, rng)
+    data = standardize(simulate_linear_sem(weights, num_samples=2000,
+                                           rng=rng))
+
+    print(f"ground truth: {truth.sum()} edges over 8 nodes")
+    result = notears_linear(data, lambda1=0.05)
+    print(f"NOTEARS finished in {result.iterations} outer iterations, "
+          f"h(W) = {result.h_final:.2e}")
+
+    metrics = evaluate_structure(truth, result.adjacency)
+    print(f"SHD                 = {metrics.shd}")
+    print(f"skeleton F1         = {metrics.skeleton_f1:.3f}")
+    print(f"v-structure recall  = {metrics.v_structure_recall:.3f}")
+    print(f"Markov equivalent   = {metrics.markov_equivalent}")
+
+
+def identifiability_sweep() -> None:
+    print("\nTheorem 1 empirically: MEC recovery rate vs sample size")
+    reports = run_identifiability_study(num_nodes=6,
+                                        sample_sizes=(100, 500, 2000),
+                                        trials_per_size=3)
+    print(f"{'samples':>8} | {'MEC rate':>8} | {'mean SHD':>8} | skeleton F1")
+    for report in reports:
+        summary = report.summary()
+        print(f"{summary['num_samples']:>8} | "
+              f"{summary['mec_recovery_rate']:>8.2f} | "
+              f"{summary['mean_shd']:>8.2f} | "
+              f"{summary['mean_skeleton_f1']:.3f}")
+
+
+if __name__ == "__main__":
+    single_recovery_demo()
+    identifiability_sweep()

@@ -1,0 +1,94 @@
+"""Using the library on your own interaction logs.
+
+Shows how to build a :class:`SequenceCorpus` from raw (user, item, time)
+event logs, attach item features, and train both a baseline and Causer —
+the path a downstream user takes when the data does not come from the
+bundled simulator.
+
+Run:  python examples/custom_dataset.py
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core import Causer, CauserConfig
+from repro.data import SequenceCorpus, UserSequence, leave_one_out_split
+from repro.eval import evaluate_model
+from repro.models import GRU4Rec, TrainConfig
+
+
+def fake_event_log(rng: np.random.Generator, num_events: int = 6000):
+    """Stand-in for reading a CSV of (user_id, item_id, timestamp) events.
+
+    Events follow simple motifs (item 2k -> item 2k+1) so the models have
+    something learnable.
+    """
+    events = []
+    for _ in range(num_events // 2):
+        user = int(rng.integers(0, 250))
+        base = int(rng.integers(0, 40)) * 2 + 1          # odd "cause" item
+        t = float(rng.random())
+        events.append((user, base, t))
+        events.append((user, base + 1, t + 0.001))       # its "effect"
+    return events
+
+
+def build_corpus(events):
+    """Group events by user, order by time, merge same-timestamp baskets."""
+    per_user = defaultdict(list)
+    for user, item, timestamp in events:
+        per_user[user].append((timestamp, item))
+    sequences = []
+    max_item = 0
+    for user, rows in sorted(per_user.items()):
+        rows.sort()
+        baskets, current, current_time = [], [], None
+        for timestamp, item in rows:
+            max_item = max(max_item, item)
+            if current and timestamp - current_time > 0.01:
+                baskets.append(tuple(dict.fromkeys(current)))
+                current = []
+            current.append(item)
+            current_time = timestamp
+        if current:
+            baskets.append(tuple(dict.fromkeys(current)))
+        if len(baskets) >= 3:
+            sequences.append(UserSequence(user_id=user,
+                                          baskets=tuple(baskets)))
+    return SequenceCorpus(num_items=max_item, sequences=sequences)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    corpus = build_corpus(fake_event_log(rng))
+    print(f"built corpus: {corpus.num_users} users, {corpus.num_items} items, "
+          f"{corpus.num_interactions} interactions, "
+          f"sparsity {100 * corpus.sparsity:.1f}%")
+
+    split = leave_one_out_split(corpus)
+
+    # Without item descriptions, any feature matrix works as raw features —
+    # here random vectors (Causer's encoder learns on top of them).
+    features = rng.normal(size=(corpus.num_items + 1, 12)) * 0.3
+    features[0] = 0.0
+
+    baseline = GRU4Rec(corpus.num_users + 1, corpus.num_items,
+                       TrainConfig(embedding_dim=16, hidden_dim=16,
+                                   num_epochs=8, seed=0))
+    baseline.fit(split.train)
+    baseline_result = evaluate_model(baseline, split.test, z=5)
+
+    causer = Causer(corpus.num_users + 1, corpus.num_items, features,
+                    CauserConfig(embedding_dim=16, hidden_dim=16,
+                                 num_epochs=8, num_clusters=8, epsilon=0.2,
+                                 eta=0.5, seed=0))
+    causer.fit(split.train)
+    causer_result = evaluate_model(causer, split.test, z=5)
+
+    print(f"GRU4Rec NDCG@5 = {100 * baseline_result.mean('ndcg'):.2f}%")
+    print(f"Causer  NDCG@5 = {100 * causer_result.mean('ndcg'):.2f}%")
+
+
+if __name__ == "__main__":
+    main()

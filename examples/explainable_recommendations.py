@@ -1,0 +1,52 @@
+"""Explainable recommendations (the paper's §V-E protocol).
+
+Trains Causer on the Baby profile, derives a labeled explanation dataset
+from the simulator's ground truth, evaluates explanation quality (Fig. 7)
+and prints qualitative case studies (Fig. 8).
+
+Run:  python examples/explainable_recommendations.py
+"""
+
+from repro.core import (Causer, format_case_study, make_explainer)
+from repro.data import (average_causes_per_sample, build_explanation_dataset,
+                        leave_one_out_split, load_dataset)
+from repro.eval import evaluate_explanations
+from repro.exp import BenchmarkSettings
+
+
+def main() -> None:
+    settings = BenchmarkSettings(scale=0.05, num_epochs=10)
+    dataset = load_dataset("baby", scale=settings.scale,
+                           seed=settings.data_seed)
+    split = leave_one_out_split(dataset.corpus)
+
+    samples = build_explanation_dataset(dataset, max_samples=793)
+    print(f"labeled explanation dataset: {len(samples)} samples, "
+          f"avg {average_causes_per_sample(samples):.1f} causes each "
+          f"(paper: 793 samples, avg 1.8)")
+
+    model = Causer(dataset.corpus.num_users, dataset.num_items,
+                   dataset.features, settings.causer_config("baby"))
+    print("training Causer (GRU)...")
+    model.fit(split.train)
+
+    # Quantitative comparison (Fig. 7): the three explanation mechanisms.
+    print("\nexplanation quality (top-3 vs labeled causes):")
+    for mode, label in (("full", "Causer (W_hat * alpha)"),
+                        ("causal", "Causer -att (W_hat only)"),
+                        ("attention", "Causer -causal (alpha only)")):
+        outcome = evaluate_explanations(samples, make_explainer(model, mode),
+                                        k=3)
+        print(f"  {label:30s} F1@3={100 * outcome.f1:5.2f}%  "
+              f"NDCG@3={100 * outcome.ndcg:5.2f}%")
+
+    # Qualitative case studies (Fig. 8).
+    print("\ncase studies:")
+    interesting = sorted(samples, key=lambda s: -len(s.history_items))[:3]
+    for i, sample in enumerate(interesting, start=1):
+        print(f"\n--- case {i} ---")
+        print(format_case_study(model, sample))
+
+
+if __name__ == "__main__":
+    main()

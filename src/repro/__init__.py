@@ -1,0 +1,35 @@
+"""repro — reproduction of "Sequential Recommendation with User Causal
+Behavior Discovery" (Causer, ICDE 2023).
+
+Subpackages
+-----------
+``repro.nn``
+    From-scratch autograd/neural substrate (tensors, RNN cells, attention,
+    optimizers) replacing the paper's PyTorch dependency.
+``repro.causal``
+    NOTEARS causal discovery: acyclicity constraint, linear solver,
+    d-separation, Markov-equivalence and structure metrics.
+``repro.data``
+    Sequential-interaction corpora, the causal behaviour simulator that
+    substitutes for the paper's five public datasets, batching and the
+    derived explanation-label dataset.
+``repro.models``
+    The Table IV baselines (BPR, NCF, FPMC, GRU4Rec, NARM, STAMP, SASRec,
+    VTRNN, MMSARec) on a unified interface.
+``repro.core``
+    The Causer model itself: differentiable item clustering, the
+    cluster-level causal graph, eq. 10's causally-filtered scorer and the
+    augmented-Lagrangian trainer.
+``repro.eval``
+    F1@Z / NDCG@Z ranking metrics, paired t-tests and the explanation
+    evaluation protocol.
+``repro.exp``
+    One reproduction function per paper table/figure plus grid search.
+"""
+
+__version__ = "1.0.0"
+
+from . import causal, core, data, eval, exp, models, nn
+
+__all__ = ["nn", "causal", "data", "models", "core", "eval", "exp",
+           "__version__"]

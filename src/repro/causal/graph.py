@@ -1,0 +1,172 @@
+"""Directed-graph utilities for causal discovery.
+
+A causal graph over ``m`` variables is represented by a weighted adjacency
+matrix ``W`` where ``W[i, j] != 0`` means *i causes j* (the paper's
+convention).  This module provides structure queries (acyclicity,
+topological order), binarization, and conversions used throughout
+:mod:`repro.causal` and :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+
+def validate_adjacency(matrix: np.ndarray) -> np.ndarray:
+    """Check that ``matrix`` is a square 2-d array and return it as float64."""
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"adjacency matrix must be square, got shape {arr.shape}")
+    return arr
+
+
+def binarize(matrix: np.ndarray, threshold: float = 0.0) -> np.ndarray:
+    """Binary adjacency: edges with ``|weight| > threshold``."""
+    arr = validate_adjacency(matrix)
+    return (np.abs(arr) > threshold).astype(np.int64)
+
+
+def is_dag(matrix: np.ndarray, threshold: float = 0.0) -> bool:
+    """True if the thresholded graph has no directed cycles."""
+    graph = to_networkx(matrix, threshold)
+    return nx.is_directed_acyclic_graph(graph)
+
+
+def to_networkx(matrix: np.ndarray, threshold: float = 0.0) -> nx.DiGraph:
+    """Convert an adjacency matrix to a :class:`networkx.DiGraph`."""
+    binary = binarize(matrix, threshold)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(binary.shape[0]))
+    graph.add_edges_from(zip(*np.nonzero(binary)))
+    return graph
+
+
+def from_networkx(graph: nx.DiGraph, num_nodes: Optional[int] = None) -> np.ndarray:
+    """Convert a DiGraph back to a 0/1 adjacency matrix."""
+    n = num_nodes if num_nodes is not None else graph.number_of_nodes()
+    matrix = np.zeros((n, n), dtype=np.int64)
+    for u, v in graph.edges():
+        matrix[u, v] = 1
+    return matrix
+
+
+def topological_order(matrix: np.ndarray, threshold: float = 0.0) -> List[int]:
+    """A topological ordering of the (thresholded) DAG.
+
+    Raises ``ValueError`` if the graph contains a cycle.
+    """
+    graph = to_networkx(matrix, threshold)
+    try:
+        return list(nx.topological_sort(graph))
+    except nx.NetworkXUnfeasible as exc:
+        raise ValueError("graph contains a cycle; no topological order exists") from exc
+
+
+def parents(matrix: np.ndarray, node: int, threshold: float = 0.0) -> List[int]:
+    """Direct causes of ``node``: indices ``i`` with ``|W[i, node]| > threshold``."""
+    arr = validate_adjacency(matrix)
+    return list(np.nonzero(np.abs(arr[:, node]) > threshold)[0])
+
+
+def children(matrix: np.ndarray, node: int, threshold: float = 0.0) -> List[int]:
+    """Direct effects of ``node``."""
+    arr = validate_adjacency(matrix)
+    return list(np.nonzero(np.abs(arr[node, :]) > threshold)[0])
+
+
+def ancestors(matrix: np.ndarray, node: int, threshold: float = 0.0) -> Set[int]:
+    """All nodes with a directed path into ``node``."""
+    return set(nx.ancestors(to_networkx(matrix, threshold), node))
+
+
+def descendants(matrix: np.ndarray, node: int, threshold: float = 0.0) -> Set[int]:
+    """All nodes reachable from ``node``."""
+    return set(nx.descendants(to_networkx(matrix, threshold), node))
+
+
+def skeleton(matrix: np.ndarray, threshold: float = 0.0) -> np.ndarray:
+    """Undirected skeleton: symmetric 0/1 matrix of adjacent pairs."""
+    binary = binarize(matrix, threshold)
+    return ((binary + binary.T) > 0).astype(np.int64)
+
+
+def v_structures(matrix: np.ndarray, threshold: float = 0.0
+                 ) -> Set[Tuple[int, int, int]]:
+    """Colliders ``i -> k <- j`` with ``i`` and ``j`` non-adjacent.
+
+    Returned as tuples ``(min(i, j), k, max(i, j))`` so that each collider is
+    counted once regardless of parent order.
+    """
+    binary = binarize(matrix, threshold)
+    skel = skeleton(binary)
+    found: Set[Tuple[int, int, int]] = set()
+    n = binary.shape[0]
+    for k in range(n):
+        incoming = np.nonzero(binary[:, k])[0]
+        for a_idx in range(len(incoming)):
+            for b_idx in range(a_idx + 1, len(incoming)):
+                i, j = incoming[a_idx], incoming[b_idx]
+                if not skel[i, j]:
+                    found.add((int(min(i, j)), int(k), int(max(i, j))))
+    return found
+
+
+def cpdag(matrix: np.ndarray, threshold: float = 0.0) -> np.ndarray:
+    """Completed partially directed acyclic graph of the DAG's MEC.
+
+    We return the *pattern* representation (skeleton + oriented v-structure
+    edges), which is sufficient for deciding Markov equivalence per the
+    paper's Definition 1: two DAGs are Markov equivalent iff they share
+    skeleton and v-structures, hence iff their patterns coincide.
+
+    Encoding: ``out[i, j] = 1`` and ``out[j, i] = 0`` for a directed edge
+    ``i -> j``; ``out[i, j] = out[j, i] = 1`` for an undirected edge.
+    """
+    binary = binarize(matrix, threshold)
+    skel = skeleton(binary)
+    out = skel.copy()
+    for i, k, j in v_structures(binary):
+        # orient i -> k and j -> k
+        out[k, i] = 0
+        out[k, j] = 0
+    return out
+
+
+def markov_equivalent(matrix_a: np.ndarray, matrix_b: np.ndarray,
+                      threshold: float = 0.0) -> bool:
+    """Definition 1 of the paper: same skeleton and same v-structures."""
+    skel_equal = np.array_equal(skeleton(matrix_a, threshold),
+                                skeleton(matrix_b, threshold))
+    if not skel_equal:
+        return False
+    return v_structures(matrix_a, threshold) == v_structures(matrix_b, threshold)
+
+
+def edge_list(matrix: np.ndarray, threshold: float = 0.0) -> List[Tuple[int, int]]:
+    """All directed edges ``(cause, effect)`` in the thresholded graph."""
+    binary = binarize(matrix, threshold)
+    return [(int(i), int(j)) for i, j in zip(*np.nonzero(binary))]
+
+
+def num_edges(matrix: np.ndarray, threshold: float = 0.0) -> int:
+    return int(binarize(matrix, threshold).sum())
+
+
+def prune_to_dag(matrix: np.ndarray) -> np.ndarray:
+    """Greedily remove smallest-magnitude edges until the graph is acyclic.
+
+    NOTEARS drives the acyclicity penalty to ~0 but floating point rarely
+    reaches exactly zero; this post-processing step (standard practice)
+    returns the nearest DAG by deleting the weakest edge on some cycle,
+    repeatedly.
+    """
+    arr = validate_adjacency(matrix).copy()
+    while not is_dag(arr):
+        graph = to_networkx(arr)
+        cycle = nx.find_cycle(graph)
+        weakest = min(cycle, key=lambda edge: abs(arr[edge[0], edge[1]]))
+        arr[weakest[0], weakest[1]] = 0.0
+    return arr

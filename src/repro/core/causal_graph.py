@@ -1,0 +1,78 @@
+"""Cluster-level causal graph module (eqs. 9 and the DAG constraint).
+
+Holds the learnable ``W^c ∈ R^{K×K}`` with a structurally-zero diagonal,
+expands it to item-level relations ``W_ab = ā^T W^c b̄`` (eq. 9), and
+exposes the NOTEARS acyclicity value ``h(W^c)`` and L1 penalty used in the
+augmented-Lagrangian objective (eq. 11).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..causal.dag_constraint import h_tensor, h_value
+from ..causal.graph import binarize, is_dag, prune_to_dag
+from ..nn import Module, Parameter, Tensor
+
+
+class ClusterCausalGraph(Module):
+    """Learnable cluster-level causal adjacency with DAG regularization."""
+
+    def __init__(self, num_clusters: int, rng: np.random.Generator,
+                 init_low: float = 0.3, init_high: float = 0.7) -> None:
+        super().__init__()
+        self.num_clusters = num_clusters
+        # Start well above typical ε thresholds: the hard gate 1(W > ε) in
+        # eq. 10 passes no gradient to entries below ε, so a near-zero init
+        # would freeze the graph at birth.  Training then *prunes* edges via
+        # L1 + the DAG penalty rather than growing them from zero.
+        weights = rng.uniform(init_low, init_high,
+                              size=(num_clusters, num_clusters))
+        np.fill_diagonal(weights, 0.0)
+        self.weights = Parameter(weights)
+        # Constant mask keeping the diagonal exactly zero (no self-causes).
+        self._off_diagonal = 1.0 - np.eye(num_clusters)
+
+    def matrix(self) -> Tensor:
+        """``W^c`` with the diagonal masked to zero (autograd-visible)."""
+        return self.weights * Tensor(self._off_diagonal)
+
+    def item_level(self, assignments: Tensor) -> Tensor:
+        """Eq. 9: item-level causal matrix ``Ā W^c Ā^T``.
+
+        ``assignments`` is the ``(num_items + 1, K)`` soft-assignment matrix;
+        the result is ``(num_items + 1, num_items + 1)`` with ``out[a, b]``
+        the causal strength of item ``a`` on item ``b``.
+        """
+        return assignments @ self.matrix() @ assignments.T
+
+    def acyclicity(self) -> Tensor:
+        """``h(W^c) = trace(e^{W^c ∘ W^c}) - K`` as an autograd scalar."""
+        return h_tensor(self.matrix())
+
+    def acyclicity_value(self) -> float:
+        """Constraint value without building a graph node."""
+        return h_value(self.weights.data * self._off_diagonal)
+
+    def l1(self) -> Tensor:
+        """``||W^c||_1`` sparsity penalty."""
+        return self.matrix().abs().sum()
+
+    # -- inspection -------------------------------------------------------
+    def numpy_matrix(self) -> np.ndarray:
+        return self.weights.data * self._off_diagonal
+
+    def thresholded(self, threshold: float) -> np.ndarray:
+        """Binary cluster graph at ``|W^c| > threshold``."""
+        return binarize(self.numpy_matrix(), threshold)
+
+    def as_dag(self, threshold: float = 0.1) -> np.ndarray:
+        """Thresholded graph with any residual cycles pruned away."""
+        matrix = self.numpy_matrix().copy()
+        matrix[np.abs(matrix) <= threshold] = 0.0
+        return prune_to_dag(matrix)
+
+    def is_acyclic(self, threshold: float = 0.1) -> bool:
+        return is_dag(self.numpy_matrix(), threshold)

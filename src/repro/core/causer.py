@@ -1,0 +1,465 @@
+"""The Causer model (§III): sequential recommendation with causal discovery.
+
+Implements eq. 10's scoring:
+
+    h_{t+1} = g(h_t, v_t ⊙ 1(W_.b > ε), u)
+    f(b | H, u) = σ( e_b^T ( V Σ_t Ŵ_{v_t b} α_t h_t ) )
+
+with
+
+* input item embeddings from the cluster encoder (eq. 6),
+* ``W`` expanded from the cluster-level graph ``W^c`` via eq. 9,
+* ``Ŵ_{v_t b} = v_t^T (W_.b ⊙ 1(W_.b > ε))`` — the total causal effect of
+  basket ``t`` on candidate ``b``,
+* ``α_t`` — bilinear attention against the final hidden state,
+* the augmented-Lagrangian training loop of Algorithm 1.
+
+Three filtering modes are provided (DESIGN.md §5, ``CauserConfig.filtering_mode``):
+
+* **shared** (default): one RNN pass over the unfiltered history; causality
+  enters through the aggregation weights ``Ŵ_{v_t b} α_t``, which zero out
+  causally-irrelevant steps.  Full-catalog scoring is a batched matmul.
+* **cluster**: one filtered RNN pass per candidate *cluster* — candidates
+  hard-assigned to the same cluster share the mask ``1(W_{·,k} > ε)``, so K
+  passes reproduce strict filtering exactly in the hard-assignment limit.
+* **strict**: the literal eq. 10 — per candidate, history inputs are masked
+  by ``1(W_.b > ε)`` and all-zero steps are skipped before re-running the
+  RNN.  Cost scales with the candidate count; used for small candidate
+  sets, tests and the efficiency study.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..data.batching import PaddedBatch, iterate_batches, pad_samples, sample_negatives
+from ..data.interactions import EvalSample, SequenceCorpus, training_prefixes
+from ..models.base import FitResult, NeuralSequentialRecommender
+from ..nn import BilinearAttention, Linear, RecurrentLayer, Tensor, losses, make_optimizer
+from ..nn import functional as F
+from .causal_graph import ClusterCausalGraph
+from .clustering import ItemClusterModule
+from .config import CauserConfig
+from .pretrain import pretrain_cluster_graph
+
+
+class Causer(NeuralSequentialRecommender):
+    """Causality-enhanced sequential recommender (GRU or LSTM backbone)."""
+
+    def __init__(self, num_users: int, num_items: int,
+                 raw_features: np.ndarray,
+                 config: Optional[CauserConfig] = None) -> None:
+        config = config or CauserConfig()
+        name = f"Causer ({config.cell_type.upper()})"
+        super().__init__(num_users, num_items, config, name=name)
+        self.config: CauserConfig = config
+        features = np.asarray(raw_features, dtype=np.float64)
+        if features.shape[0] != num_items + 1:
+            raise ValueError(
+                f"raw_features must cover the padded vocabulary: expected "
+                f"{num_items + 1} rows, got {features.shape[0]}")
+        cfg = config
+        self.clusters = ItemClusterModule(
+            features, cfg.num_clusters, cfg.embedding_dim,
+            cfg.encoder_hidden_dim, cfg.eta, self.rng)
+        self.graph = ClusterCausalGraph(cfg.num_clusters, self.rng)
+        self.rnn = RecurrentLayer(cfg.cell_type, cfg.embedding_dim,
+                                  cfg.hidden_dim, self.rng)
+        self.attention = BilinearAttention(cfg.hidden_dim, self.rng)  # A
+        self.adapt = Linear(cfg.hidden_dim, cfg.embedding_dim, self.rng,
+                            bias=False)                                # V
+        # Eq. 10's g(h_t, ·, u_k) conditions on the user: the user embedding
+        # seeds the initial hidden state.
+        self.user_init = Linear(cfg.embedding_dim, cfg.hidden_dim, self.rng)
+        # Augmented-Lagrangian state (Algorithm 1).
+        self.beta1 = cfg.beta1_init
+        self.beta2 = cfg.beta2_init
+        self._h_previous = float("inf")
+        self._penalty_scale = 1.0  # set per epoch from the batch count
+        # Subclasses (e.g. DynamicCauser) may swap in a different module to
+        # carry the L1/acyclicity penalties.
+        self._graph_module_for_penalties = self.graph
+
+    # ------------------------------------------------------------------
+    # Forward pieces
+    # ------------------------------------------------------------------
+    def _user_initial_state(self, batch: PaddedBatch) -> Tensor:
+        """``u_k``-conditioned initial hidden state (eq. 10's g(·, ·, u))."""
+        user_emb = self.user_embedding(batch.users % max(self.num_users, 1))
+        return self.user_init(user_emb).tanh()
+
+    def _input_embeddings(self, item_embeddings: Tensor) -> Tensor:
+        """Input representation: encoded features (eq. 6) + free id offset.
+
+        The encoder output alone cannot separate items with near-identical
+        raw features (it is constrained onto cluster mixtures by eq. 7), so
+        a free per-item embedding is added — ``Θ_e``'s item half in the
+        paper's parameter inventory.
+        """
+        return item_embeddings + self.item_embedding.weight
+
+    def _history_states(self, batch: PaddedBatch, item_embeddings: Tensor):
+        """Run the backbone over basket-summed input embeddings."""
+        inputs_table = self._input_embeddings(item_embeddings)
+        gathered = inputs_table[batch.items]                 # (B, T, S, d)
+        mask = Tensor(batch.basket_mask[..., None])
+        inputs = (gathered * mask).sum(axis=2)
+        return self.rnn(inputs, step_mask=batch.step_mask,
+                        initial_state=self._user_initial_state(batch))
+
+    def _attention_scores(self, states: Tensor, last: Tensor) -> Tensor:
+        """Unnormalized ``sim(h_t, h_{j-1})``; zeros in the (-att) ablation.
+
+        Zero scores make the masked softmax uniform over the surviving
+        (causally-filtered) steps, which is exactly the (-att) variant.
+        """
+        if self.config.use_attention:
+            return self.attention.raw_scores(states, last)
+        return Tensor(np.zeros((states.shape[0], states.shape[1])))
+
+    def _attention_weights(self, states: Tensor, last: Tensor,
+                           step_mask: np.ndarray) -> Tensor:
+        """Per-step ``α_t`` over valid steps (no per-candidate masking)."""
+        scores = self._attention_scores(states, last)
+        return F.masked_softmax(scores, step_mask, axis=-1)
+
+    def _pairwise_effects(self, batch: PaddedBatch, assignments: Tensor,
+                          candidates: Optional[np.ndarray]) -> Tensor:
+        """Soft item-level causal strengths ``W[item, candidate]`` (eq. 9).
+
+        Shape ``(B, T, S, C)``; ``candidates=None`` means the full catalog.
+        """
+        b, t, s = batch.items.shape
+        hist_assign = assignments[batch.items]               # (B, T, S, K)
+        k = hist_assign.shape[-1]
+        projected = hist_assign.reshape(b, t * s, k) @ self.graph.matrix()
+        if candidates is None:
+            # (B, T*S, K) @ (K, V+1) — shared candidate assignments.
+            pairwise = projected @ assignments.T
+        else:
+            cand_assign = assignments[candidates]            # (B, C, K)
+            pairwise = projected @ cand_assign.transpose(0, 2, 1)
+        return pairwise.reshape(b, t, s, -1)
+
+    def _gated_effects(self, pairwise: Tensor, keep: np.ndarray,
+                       basket_mask: np.ndarray) -> Tensor:
+        """``Ŵ_{v_t b} = Σ_slots W ⊙ 1(W > ε)``: shape ``(B, T, C)``."""
+        gate = keep * basket_mask[..., None]
+        return (pairwise * Tensor(gate)).sum(axis=2)
+
+    def _candidate_clusters(self, assignments_data: np.ndarray,
+                            candidates: Optional[np.ndarray],
+                            batch_size: int) -> np.ndarray:
+        """Hard cluster of each candidate, shape ``(B, C)`` (or ``(1, V+1)``)."""
+        hard = np.argmax(assignments_data, axis=-1)
+        if candidates is None:
+            return hard[None, :]
+        return hard[candidates]
+
+    def candidate_logits(self, batch: PaddedBatch,
+                         candidates: Optional[np.ndarray]) -> Tensor:
+        """Eq. 10 logits for explicit candidates (or the full catalog).
+
+        Dispatches on ``config.filtering_mode``; the (-causal) ablation and
+        ``"shared"`` mode use a single unfiltered RNN pass, the default
+        ``"cluster"`` mode runs one filtered pass per candidate cluster.
+        """
+        if self.config.use_causal and self.config.filtering_mode == "cluster":
+            return self._logits_cluster_filtered(batch, candidates)
+        return self._logits_shared(batch, candidates)
+
+    def _candidate_embeddings(self, candidates: Optional[np.ndarray]) -> Tensor:
+        if candidates is None:
+            return self.output_embedding.weight.reshape(
+                1, self.num_items + 1, -1)
+        return self.output_embedding(candidates)
+
+    def _candidate_bias(self, candidates: Optional[np.ndarray]) -> Tensor:
+        """Per-item output bias — the popularity prior of the scorer."""
+        if candidates is None:
+            return self.output_bias.reshape(1, self.num_items + 1)
+        return self.output_bias[candidates]
+
+    def _logits_shared(self, batch: PaddedBatch,
+                       candidates: Optional[np.ndarray]) -> Tensor:
+        """Single unfiltered RNN pass; causality enters via ``Ŵ_{v_t b} α_t``.
+
+        ``α`` normalizes over the valid steps; multiplying by the *raw*
+        causal effects preserves the total trigger mass
+        ``Σ_t α_t Ŵ_{v_t b}`` in the context's scale — the quantity that
+        tells the scorer how strongly the candidate is causally supported by
+        the history.  Candidates with no surviving cause anywhere receive a
+        zero context (uniform prediction — the paper's Remark 2).
+        """
+        cfg = self.config
+        item_embeddings = self.clusters.encode()
+        assignments = self.clusters.assignments()
+        states, last = self._history_states(batch, item_embeddings)
+        alpha = self._attention_weights(states, last, batch.step_mask)
+        batch_size, time = alpha.shape
+
+        if cfg.use_causal:
+            pairwise = self._pairwise_effects(batch, assignments, candidates)
+            keep = (pairwise.data > cfg.epsilon).astype(np.float64)
+            effects = self._gated_effects(pairwise, keep, batch.basket_mask)
+        else:
+            c = (self.num_items + 1 if candidates is None
+                 else candidates.shape[1])
+            ones = batch.step_mask.astype(np.float64)[:, :, None]
+            effects = Tensor(np.broadcast_to(ones, (batch_size, time, c)).copy())
+
+        weights = effects * alpha.reshape(batch_size, time, 1)  # (B, T, C)
+        context = weights.transpose(0, 2, 1) @ states            # (B, C, h)
+        adapted = self.adapt(context)                            # (B, C, d_e)
+        cand_emb = self._candidate_embeddings(candidates)
+        return (adapted * cand_emb).sum(axis=-1) + self._candidate_bias(candidates)
+
+    def _logits_cluster_filtered(self, batch: PaddedBatch,
+                                 candidates: Optional[np.ndarray]) -> Tensor:
+        """Strict eq. 10 semantics with cluster-shared filter masks.
+
+        For every cluster ``k`` the history is filtered by
+        ``1(W_{·,k} > ε)`` (all candidates hard-assigned to ``k`` share this
+        mask), the RNN re-runs on the filtered inputs with empty steps
+        skipped, attention normalizes over the surviving steps, and the
+        causal effects ``Ŵ`` weight the surviving states.  Exact strict
+        filtering in the hard-assignment limit, at K RNN passes per batch.
+        """
+        cfg = self.config
+        item_embeddings = self.clusters.encode()
+        assignments = self.clusters.assignments()
+        gathered = self._input_embeddings(item_embeddings)[batch.items]  # (B, T, S, d)
+
+        pairwise = self._pairwise_effects(batch, assignments, candidates)
+        cand_clusters = self._candidate_clusters(assignments.data, candidates,
+                                                 batch.batch_size)
+        # Per-(item, cluster) causal strength drives the shared masks.
+        w_cols = (assignments @ self.graph.matrix()).data      # (V+1, K)
+        cand_emb = self._candidate_embeddings(candidates)
+
+        logits: Optional[Tensor] = None
+        present_clusters = np.unique(cand_clusters)
+        for k in present_clusters:
+            keep_k = ((w_cols[batch.items, k] > cfg.epsilon)
+                      & (batch.basket_mask > 0))               # (B, T, S)
+            step_mask_k = keep_k.any(axis=2)
+            slot_mask = Tensor(keep_k.astype(np.float64)[..., None])
+            inputs_k = (gathered * slot_mask).sum(axis=2)
+            states_k, last_k = self.rnn(
+                inputs_k, step_mask=step_mask_k,
+                initial_state=self._user_initial_state(batch))
+            scores_k = self._attention_scores(states_k, last_k)
+
+            keep_slots = (pairwise.data > cfg.epsilon).astype(np.float64)
+            keep_slots = keep_slots * keep_k[..., None]
+            effects_k = self._gated_effects(pairwise, keep_slots,
+                                            batch.basket_mask)  # (B, T, C)
+            surviving = (effects_k.data > 0) & step_mask_k[:, :, None]
+            alpha_k = F.masked_softmax(
+                scores_k.reshape(scores_k.shape[0], -1, 1), surviving, axis=1)
+            weights_k = effects_k * alpha_k
+            context_k = weights_k.transpose(0, 2, 1) @ states_k
+            logits_k = ((self.adapt(context_k) * cand_emb).sum(axis=-1)
+                        + self._candidate_bias(candidates))
+
+            select = (cand_clusters == k).astype(np.float64)   # (B, C) or (1, C)
+            contribution = logits_k * Tensor(select)
+            logits = contribution if logits is None else logits + contribution
+        assert logits is not None, "candidate set produced no clusters"
+        return logits
+
+    # ------------------------------------------------------------------
+    # Strict (literal eq. 10) filtering
+    # ------------------------------------------------------------------
+    def candidate_logits_strict(self, batch: PaddedBatch,
+                                candidates: np.ndarray) -> np.ndarray:
+        """Per-candidate history masking and RNN re-runs (evaluation only).
+
+        The history input at step ``t`` becomes ``v_t ⊙ 1(W_.b > ε)``;
+        steps whose filtered basket is empty are skipped (the hidden state
+        carries through).  Quadratic in candidates — use for small sets.
+        """
+        self.eval()
+        cfg = self.config
+        item_embeddings = self.clusters.encode()
+        assignments = self.clusters.assignments().data
+        w_full = assignments @ self.graph.numpy_matrix() @ assignments.T
+        logits = np.zeros(candidates.shape)
+        for col in range(candidates.shape[1]):
+            cand = candidates[:, col]
+            # Mask basket slots that are not causes of this candidate.
+            w_cols = w_full[batch.items, cand[:, None, None]]   # (B, T, S)
+            keep = (w_cols > cfg.epsilon).astype(np.float64)
+            masked = PaddedBatch(
+                users=batch.users, items=batch.items,
+                basket_mask=batch.basket_mask * keep,
+                step_mask=(batch.basket_mask * keep).sum(axis=2) > 0,
+                positives=batch.positives, positive_mask=batch.positive_mask)
+            states, last = self._history_states(masked, item_embeddings)
+            alpha = self._attention_weights(states, last, masked.step_mask)
+            effect = (w_cols * keep * batch.basket_mask).sum(axis=2)  # (B, T)
+            if not cfg.use_causal:
+                effect = masked.step_mask.astype(np.float64)
+            weights = (alpha.data * effect)[:, :, None]
+            context = (weights * states.data).sum(axis=1)
+            adapted = context @ self.adapt.weight.data.T
+            cand_emb = self.output_embedding.weight.data[cand]
+            logits[:, col] = ((adapted * cand_emb).sum(axis=-1)
+                              + self.output_bias.data[cand])
+        return logits
+
+    # ------------------------------------------------------------------
+    # Training (Algorithm 1)
+    # ------------------------------------------------------------------
+    def training_loss(self, batch: PaddedBatch,
+                      include_causal_penalties: bool = True) -> Tensor:
+        """Eq. 11: BCE data term + L1 + clustering/reconstruction + DAG terms.
+
+        ``include_causal_penalties=False`` skips the regularizer
+        computation entirely — the §III-C slow-update device: on frozen
+        epochs the causal parameters receive no step, so computing their
+        penalty gradients is pure waste.
+        """
+        cfg = self.config
+        b, p = batch.positives.shape
+        n = batch.negatives.shape[-1]
+        candidates = np.concatenate(
+            [batch.positives[:, :, None], batch.negatives], axis=2
+        ).reshape(b, p * (n + 1))
+        logits = self.candidate_logits(batch, candidates)
+        targets = np.zeros((b, p, n + 1))
+        targets[:, :, 0] = 1.0
+        mask = np.repeat(batch.positive_mask[:, :, None], n + 1, axis=2)
+        loss = losses.bce_with_logits(logits, targets.reshape(b, -1),
+                                      mask=mask.reshape(b, -1))
+
+        if not include_causal_penalties:
+            return loss
+
+        # Eq. 11 adds the regularizers ONCE over the whole dataset; with
+        # mini-batching each batch must carry only its share, otherwise the
+        # penalties are overweighted by the number of batches per epoch and
+        # L1 + the DAG penalty erode W^c below the ε gate within a few
+        # epochs (a gradient blackout the gate cannot recover from).
+        scale = self._penalty_scale
+        graph_module = self._graph_module_for_penalties
+        penalty = cfg.lambda_l1 * graph_module.l1()
+        embeddings = self.clusters.encode()
+        if cfg.use_clustering_loss:
+            penalty = penalty + (cfg.cluster_weight
+                                 * self.clusters.clustering_loss(embeddings))
+        if cfg.use_reconstruction_loss:
+            penalty = penalty + (cfg.reconstruction_weight
+                                 * self.clusters.reconstruction_loss(embeddings))
+        h = graph_module.acyclicity()
+        penalty = penalty + self.beta1 * h + (0.5 * self.beta2) * h * h
+        return loss + scale * penalty
+
+    def _seed_graph(self, samples: Sequence[EvalSample]) -> None:
+        """Seed ``W^c`` from transition lift, calibrated to the ε gate.
+
+        Soft assignments dilute eq. 9 (``ā^T W^c b̄ < max W^c``), and the
+        dilution grows with K — so after seeding, ``W^c`` is rescaled such
+        that the *item-level* peak sits at ~0.6, keeping the gate's
+        operating range consistent across cluster counts.
+        """
+        cfg = self.config
+        seed = pretrain_cluster_graph(samples,
+                                      self.clusters.hard_assignments(),
+                                      cfg.num_clusters)
+        assignments = self.clusters.assignments().data
+        peak = (assignments @ seed @ assignments.T).max()
+        if peak > 1e-6:
+            seed = seed * (0.6 / peak)
+        self.graph.weights.data[...] = seed
+
+    def fit_samples(self, samples: Sequence[EvalSample]) -> FitResult:
+        """Algorithm 1: alternating updates with augmented-Lagrangian state.
+
+        The recommender parameters step every epoch; the causal parameters
+        (``Θ_a`` and ``W^c``) step only on epochs divisible by
+        ``update_every`` — the paper's §III-C efficiency device.
+        """
+        if not samples:
+            raise ValueError(f"{self.name}: no training samples")
+        cfg = self.config
+        if cfg.pretrain_graph and cfg.use_causal:
+            self._seed_graph(samples)
+        causal_params = list(self.clusters.parameters()) + list(
+            self.graph.parameters())
+        if self._graph_module_for_penalties is not self.graph:
+            causal_params += list(self._graph_module_for_penalties.parameters())
+        causal_ids = {id(p) for p in causal_params}
+        rec_params = [p for p in self.parameters() if id(p) not in causal_ids]
+        opt_rec = make_optimizer(cfg.optimizer, rec_params,
+                                 lr=cfg.learning_rate,
+                                 weight_decay=cfg.weight_decay)
+        opt_causal = make_optimizer(cfg.optimizer, causal_params,
+                                    lr=cfg.learning_rate)
+        result = FitResult(extra={"h": [], "beta2": []})
+        num_batches = max(1, int(np.ceil(len(samples) / cfg.batch_size)))
+        self._penalty_scale = 1.0 / num_batches
+        self.train()
+        for epoch in range(cfg.num_epochs):
+            update_causal = (epoch % cfg.update_every) == 0
+            total, count = 0.0, 0
+            for batch in iterate_batches(samples, cfg.batch_size, self.rng,
+                                         max_history=cfg.max_history):
+                sample_negatives(batch, self.num_items, cfg.num_negatives,
+                                 self.rng)
+                opt_rec.zero_grad()
+                opt_causal.zero_grad()
+                loss = self.training_loss(
+                    batch, include_causal_penalties=update_causal)
+                loss.backward()
+                opt_rec.clip_grad_norm(cfg.grad_clip)
+                opt_rec.step()
+                if update_causal:
+                    opt_causal.clip_grad_norm(cfg.grad_clip)
+                    opt_causal.step()
+                self._after_step()
+                total += loss.item()
+                count += 1
+            # Algorithm 1 lines 14–15: multiplier and penalty updates.
+            h_new = self._graph_module_for_penalties.acyclicity_value()
+            self.beta1 += self.beta2 * h_new
+            stalled = (np.isfinite(self._h_previous)
+                       and abs(h_new) >= cfg.kappa2 * abs(self._h_previous))
+            if stalled:
+                self.beta2 = min(self.beta2 * cfg.kappa1, cfg.beta2_max)
+            self._h_previous = h_new
+            mean_loss = total / max(count, 1)
+            result.epoch_losses.append(mean_loss)
+            result.extra["h"].append(h_new)
+            result.extra["beta2"].append(self.beta2)
+            if cfg.verbose:
+                print(f"[{self.name}] epoch {epoch + 1}/{cfg.num_epochs} "
+                      f"loss={mean_loss:.4f} h={h_new:.2e} beta2={self.beta2:.2g}")
+        self.eval()
+        return result
+
+    # ------------------------------------------------------------------
+    # Scoring / inspection
+    # ------------------------------------------------------------------
+    def score_samples(self, samples: Sequence[EvalSample]) -> np.ndarray:
+        """Full-catalog scores; honours ``cfg.filtering_mode``."""
+        self.eval()
+        batch = pad_samples(samples, max_history=self.config.max_history)
+        if self.config.filtering_mode == "strict":
+            all_items = np.tile(np.arange(self.num_items + 1),
+                                (batch.batch_size, 1))
+            return self.candidate_logits_strict(batch, all_items)
+        from ..nn import no_grad
+        with no_grad(self):
+            return self.candidate_logits(batch, None).data
+
+    def item_causal_matrix(self) -> np.ndarray:
+        """Learned item-level ``W`` (eq. 9) as a numpy array."""
+        assignments = self.clusters.assignments().data
+        return assignments @ self.graph.numpy_matrix() @ assignments.T
+
+    def learned_cluster_graph(self, threshold: float = 0.1) -> np.ndarray:
+        """Thresholded, cycle-pruned cluster-level DAG."""
+        return self.graph.as_dag(threshold)

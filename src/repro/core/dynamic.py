@@ -1,0 +1,160 @@
+"""Dynamic causal graphs — the paper's first future-work direction (§VI).
+
+    "an interesting direction is to introduce dynamic causal graph into our
+     model, where the causal relation can be altered when the interaction
+     times are different."
+
+We realise the simplest useful version: the history is partitioned into
+*recency segments* (old vs recent by default) and each segment owns its own
+cluster-level causal matrix ``W^c_s``.  Eq. 9/10 are applied per segment —
+a recent printer purchase may strongly cause an ink-box purchase while a
+year-old one no longer does.  Each segment matrix carries its own NOTEARS
+acyclicity penalty, so every snapshot of the causal structure remains a
+DAG.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..data.batching import PaddedBatch
+from ..nn import Module, Tensor
+from .causal_graph import ClusterCausalGraph
+from .causer import Causer
+from .config import CauserConfig
+
+
+class DynamicClusterCausalGraph(Module):
+    """A stack of per-segment cluster-level causal graphs."""
+
+    def __init__(self, num_clusters: int, num_segments: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        if num_segments < 1:
+            raise ValueError("need at least one segment")
+        self.num_clusters = num_clusters
+        self.num_segments = num_segments
+        self.segments: List[ClusterCausalGraph] = []
+        for s in range(num_segments):
+            graph = ClusterCausalGraph(num_clusters, rng)
+            self.register_module(f"segment{s}", graph)
+            self.segments.append(graph)
+
+    def matrix(self, segment: int) -> Tensor:
+        return self.segments[segment].matrix()
+
+    def acyclicity(self) -> Tensor:
+        """Sum of per-segment constraint values (0 iff every snapshot is a DAG)."""
+        total = self.segments[0].acyclicity()
+        for graph in self.segments[1:]:
+            total = total + graph.acyclicity()
+        return total
+
+    def acyclicity_value(self) -> float:
+        return float(sum(g.acyclicity_value() for g in self.segments))
+
+    def l1(self) -> Tensor:
+        total = self.segments[0].l1()
+        for graph in self.segments[1:]:
+            total = total + graph.l1()
+        return total
+
+    def numpy_matrix(self, segment: int) -> np.ndarray:
+        return self.segments[segment].numpy_matrix()
+
+    def drift(self) -> float:
+        """Mean absolute difference between consecutive segment graphs —
+        how much the causal structure moves over time."""
+        if self.num_segments < 2:
+            return 0.0
+        diffs = [np.abs(self.numpy_matrix(s + 1) - self.numpy_matrix(s)).mean()
+                 for s in range(self.num_segments - 1)]
+        return float(np.mean(diffs))
+
+
+class DynamicCauser(Causer):
+    """Causer with a recency-segmented causal graph.
+
+    ``recent_window`` history steps before the prediction point use the
+    *recent* graph (the last segment); earlier steps use progressively
+    older segments, split evenly.
+    """
+
+    def __init__(self, num_users: int, num_items: int,
+                 raw_features: np.ndarray,
+                 config: Optional[CauserConfig] = None,
+                 num_segments: int = 2,
+                 recent_window: int = 3) -> None:
+        super().__init__(num_users, num_items, raw_features, config)
+        self.name = f"DynamicCauser ({self.config.cell_type.upper()})"
+        self.num_segments = num_segments
+        self.recent_window = recent_window
+        self.dynamic_graph = DynamicClusterCausalGraph(
+            self.config.num_clusters, num_segments, self.rng)
+        # The base class's single graph stays for pretrain-seeding; the
+        # dynamic stack is seeded from it at fit time.
+        self._graph_module_for_penalties = self.dynamic_graph
+
+    # -- segment assignment ------------------------------------------------
+    def _segment_of_steps(self, batch: PaddedBatch) -> np.ndarray:
+        """Per-(row, step) segment index: recent steps get the last segment."""
+        step_mask = batch.step_mask
+        b, t = step_mask.shape
+        lengths = step_mask.sum(axis=1)
+        positions = np.tile(np.arange(t), (b, 1))
+        from_end = lengths[:, None] - positions  # 1 = most recent step
+        segments = np.zeros((b, t), dtype=np.int64)
+        recent = (from_end >= 1) & (from_end <= self.recent_window)
+        segments[recent] = self.num_segments - 1
+        if self.num_segments > 2:
+            older = ~recent & step_mask
+            # Spread older steps over the remaining segments evenly.
+            span = np.maximum(lengths[:, None] - self.recent_window, 1)
+            frac = np.clip((from_end - self.recent_window - 1) / span, 0, 0.999)
+            segments[older] = ((1.0 - frac[older])
+                               * (self.num_segments - 1)).astype(np.int64)
+        return segments
+
+    # -- overridden forward pieces ------------------------------------------
+    def _pairwise_effects(self, batch: PaddedBatch, assignments: Tensor,
+                          candidates: Optional[np.ndarray]) -> Tensor:
+        """Segment-aware eq. 9: each step uses its segment's ``W^c_s``."""
+        b, t, s = batch.items.shape
+        hist_assign = assignments[batch.items]                  # (B, T, S, K)
+        k = hist_assign.shape[-1]
+        flat = hist_assign.reshape(b, t * s, k)
+        if candidates is None:
+            cand_assign_t = assignments.T                        # (K, V+1)
+        else:
+            cand_assign_t = assignments[candidates].transpose(0, 2, 1)
+
+        segments = self._segment_of_steps(batch)                # (B, T)
+        combined: Optional[Tensor] = None
+        for segment in range(self.num_segments):
+            projected = flat @ self.dynamic_graph.matrix(segment)
+            pairwise = (projected @ cand_assign_t).reshape(b, t, s, -1)
+            select = (segments == segment).astype(np.float64)[:, :, None, None]
+            term = pairwise * Tensor(select)
+            combined = term if combined is None else combined + term
+        return combined
+
+    # -- training hooks ------------------------------------------------------
+    def fit_samples(self, samples):
+        cfg = self.config
+        if cfg.pretrain_graph and cfg.use_causal:
+            self._seed_graph(samples)  # calibrates the base graph
+            for graph in self.dynamic_graph.segments:
+                graph.weights.data[...] = self.graph.weights.data
+        return super().fit_samples(samples)
+
+    def item_causal_matrix(self, segment: Optional[int] = None) -> np.ndarray:
+        """Learned item-level W for one segment (default: most recent)."""
+        segment = self.num_segments - 1 if segment is None else segment
+        assignments = self.clusters.assignments().data
+        return (assignments @ self.dynamic_graph.numpy_matrix(segment)
+                @ assignments.T)
+
+    def graph_drift(self) -> float:
+        return self.dynamic_graph.drift()

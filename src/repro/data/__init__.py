@@ -1,0 +1,43 @@
+"""`repro.data` — sequential-recommendation data substrate.
+
+Interaction corpora (§II-A data model), the causal user-behaviour simulator
+that substitutes for the paper's five public datasets, item raw features,
+padding/negative-sampling/batching, the derived explanation-label dataset
+(§V-E) and dataset statistics (Table II / Fig. 3).
+"""
+
+from .batching import PaddedBatch, iterate_batches, pad_samples, sample_negatives
+from .datasets import (DATASET_NAMES, DEFAULT_SCALE, PAPER_STATISTICS,
+                       dataset_config, load_all_datasets, load_dataset)
+from .explanation import (ExplanationSample, average_causes_per_sample,
+                          build_explanation_dataset, to_eval_samples)
+from .features import (cluster_feature_coherence, feature_similarity,
+                       gps_like_features, text_like_features)
+from .interactions import (PAD_ITEM, EvalSample, SequenceCorpus, Split,
+                           UserSequence, leave_one_out_split,
+                           training_prefixes)
+from .stats import (DatasetStatistics, basket_size_distribution,
+                    compare_to_paper, compute_statistics,
+                    sequence_length_histogram)
+from .temporal import (RegimeShiftDataset, generate_regime_shift_dataset,
+                       graph_change_magnitude)
+from .synthetic import (BehaviorSimulator, SimulatorConfig, SyntheticDataset,
+                        generate_dataset)
+
+__all__ = [
+    "PAD_ITEM", "UserSequence", "SequenceCorpus", "EvalSample", "Split",
+    "leave_one_out_split", "training_prefixes",
+    "SimulatorConfig", "SyntheticDataset", "BehaviorSimulator",
+    "generate_dataset",
+    "RegimeShiftDataset", "generate_regime_shift_dataset",
+    "graph_change_magnitude",
+    "DATASET_NAMES", "DEFAULT_SCALE", "PAPER_STATISTICS",
+    "dataset_config", "load_dataset", "load_all_datasets",
+    "text_like_features", "gps_like_features", "feature_similarity",
+    "cluster_feature_coherence",
+    "PaddedBatch", "pad_samples", "sample_negatives", "iterate_batches",
+    "ExplanationSample", "build_explanation_dataset",
+    "average_causes_per_sample", "to_eval_samples",
+    "DatasetStatistics", "compute_statistics", "sequence_length_histogram",
+    "basket_size_distribution", "compare_to_paper",
+]

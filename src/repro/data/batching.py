@@ -1,0 +1,149 @@
+"""Padding, negative sampling and mini-batch iteration.
+
+Sequences are ragged (variable length, variable basket size); models consume
+dense arrays.  :func:`pad_samples` converts a list of
+:class:`~repro.data.interactions.EvalSample` into a :class:`PaddedBatch`:
+
+* ``items``     — ``(batch, time, slot)`` int64, item ids left-aligned in
+  time, 0-padded,
+* ``basket_mask`` — ``(batch, time, slot)`` float, 1 where a real item sits,
+* ``step_mask`` — ``(batch, time)`` bool, True on real timesteps,
+* ``users``     — ``(batch,)`` int64,
+* ``positives`` — ``(batch, pos_slot)`` target item ids (0-padded) with
+  ``positive_mask``.
+
+Training additionally samples ``num_negatives`` negatives per positive slot
+uniformly from items outside the target basket (the paper's sigmoid +
+negative-sampling objective).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from .interactions import EvalSample
+
+
+@dataclass
+class PaddedBatch:
+    """Dense representation of a batch of (history, target) samples."""
+
+    users: np.ndarray          # (B,)
+    items: np.ndarray          # (B, T, S)
+    basket_mask: np.ndarray    # (B, T, S)
+    step_mask: np.ndarray      # (B, T)
+    positives: np.ndarray      # (B, P)
+    positive_mask: np.ndarray  # (B, P)
+    negatives: Optional[np.ndarray] = None  # (B, P, N)
+
+    @property
+    def batch_size(self) -> int:
+        return self.items.shape[0]
+
+    @property
+    def max_time(self) -> int:
+        return self.items.shape[1]
+
+    def history_multihot(self, num_items: int) -> np.ndarray:
+        """Per-step multi-hot tensors, shape ``(B, T, num_items + 1)``.
+
+        Used by models that consume multi-hot inputs directly; column 0
+        (padding) is always zero.
+        """
+        batch, time, slots = self.items.shape
+        out = np.zeros((batch, time, num_items + 1), dtype=np.float64)
+        b_idx, t_idx, s_idx = np.nonzero(self.basket_mask)
+        out[b_idx, t_idx, self.items[b_idx, t_idx, s_idx]] = 1.0
+        out[:, :, 0] = 0.0
+        return out
+
+    def flat_history_sets(self) -> List[set]:
+        """Set of all items in each row's history (for sampling exclusions)."""
+        result = []
+        for row in range(self.batch_size):
+            present = self.items[row][self.basket_mask[row].astype(bool)]
+            result.append(set(int(i) for i in present))
+        return result
+
+
+def pad_samples(samples: Sequence[EvalSample],
+                max_history: Optional[int] = None) -> PaddedBatch:
+    """Convert ragged samples into a :class:`PaddedBatch` (no negatives)."""
+    if not samples:
+        raise ValueError("cannot pad an empty batch")
+    histories = []
+    for sample in samples:
+        history = sample.history
+        if max_history is not None and len(history) > max_history:
+            history = history[-max_history:]
+        histories.append(history)
+
+    batch = len(samples)
+    max_time = max(len(h) for h in histories)
+    max_slot = max((len(basket) for h in histories for basket in h), default=1)
+    max_pos = max(len(s.target) for s in samples)
+
+    items = np.zeros((batch, max_time, max_slot), dtype=np.int64)
+    basket_mask = np.zeros((batch, max_time, max_slot), dtype=np.float64)
+    step_mask = np.zeros((batch, max_time), dtype=bool)
+    positives = np.zeros((batch, max_pos), dtype=np.int64)
+    positive_mask = np.zeros((batch, max_pos), dtype=np.float64)
+    users = np.array([s.user_id for s in samples], dtype=np.int64)
+
+    for row, (sample, history) in enumerate(zip(samples, histories)):
+        for t, basket in enumerate(history):
+            step_mask[row, t] = True
+            for slot, item in enumerate(basket):
+                items[row, t, slot] = item
+                basket_mask[row, t, slot] = 1.0
+        for p, item in enumerate(sample.target):
+            positives[row, p] = item
+            positive_mask[row, p] = 1.0
+
+    return PaddedBatch(users=users, items=items, basket_mask=basket_mask,
+                       step_mask=step_mask, positives=positives,
+                       positive_mask=positive_mask)
+
+
+def sample_negatives(batch: PaddedBatch, num_items: int, num_negatives: int,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Uniform negatives per positive slot, avoiding the target basket.
+
+    Returns an ``(B, P, N)`` int64 array and also stores it on the batch.
+    """
+    if num_items < 2:
+        raise ValueError("need at least two items to sample negatives")
+    b, p = batch.positives.shape
+    negatives = rng.integers(1, num_items + 1, size=(b, p, num_negatives))
+    # Re-roll collisions with any positive of the same row (vectorized
+    # rejection; a handful of passes suffices for sparse targets).
+    for _ in range(8):
+        collisions = (negatives[:, :, :, None] ==
+                      batch.positives[:, None, None, :]).any(axis=-1)
+        if not collisions.any():
+            break
+        redraw = rng.integers(1, num_items + 1, size=int(collisions.sum()))
+        negatives[collisions] = redraw
+    batch.negatives = negatives
+    return negatives
+
+
+def iterate_batches(samples: Sequence[EvalSample], batch_size: int,
+                    rng: Optional[np.random.Generator] = None,
+                    shuffle: bool = True,
+                    max_history: Optional[int] = None) -> Iterator[PaddedBatch]:
+    """Yield :class:`PaddedBatch` chunks, optionally shuffled each epoch."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(len(samples))
+    if shuffle:
+        if rng is None:
+            rng = np.random.default_rng()
+        rng.shuffle(order)
+    for start in range(0, len(samples), batch_size):
+        chunk = [samples[i] for i in order[start:start + batch_size]]
+        if chunk:
+            yield pad_samples(chunk, max_history=max_history)

@@ -1,0 +1,169 @@
+"""Core sequential-interaction data structures.
+
+The paper's data model (§II-A): a set of users, a set of items, and for each
+user a chronological sequence of *interaction sets* (baskets).  Ordinary
+sequential recommendation is the special case of singleton baskets; next-
+basket recommendation allows multi-item steps.
+
+Item ids are 1-based; id 0 is reserved as the padding index everywhere in
+the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+PAD_ITEM = 0
+
+
+@dataclass(frozen=True)
+class UserSequence:
+    """One user's chronological interaction history.
+
+    ``baskets`` is a tuple of baskets; each basket is a tuple of item ids
+    interacted at the same timestamp.
+    """
+
+    user_id: int
+    baskets: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        for basket in self.baskets:
+            if not basket:
+                raise ValueError("baskets must be non-empty")
+            for item in basket:
+                if item == PAD_ITEM:
+                    raise ValueError("item id 0 is reserved for padding")
+
+    @property
+    def length(self) -> int:
+        return len(self.baskets)
+
+    @property
+    def num_interactions(self) -> int:
+        return sum(len(b) for b in self.baskets)
+
+    def items(self) -> List[int]:
+        """All items in order of appearance (flattened)."""
+        return [item for basket in self.baskets for item in basket]
+
+
+@dataclass
+class SequenceCorpus:
+    """A collection of user sequences over a shared item vocabulary."""
+
+    num_items: int
+    sequences: List[UserSequence] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for seq in self.sequences:
+            for item in seq.items():
+                if not 1 <= item <= self.num_items:
+                    raise ValueError(
+                        f"item id {item} outside vocabulary [1, {self.num_items}]")
+
+    # -- basic statistics -------------------------------------------------
+    @property
+    def num_users(self) -> int:
+        return len(self.sequences)
+
+    @property
+    def num_interactions(self) -> int:
+        return sum(seq.num_interactions for seq in self.sequences)
+
+    @property
+    def average_sequence_length(self) -> float:
+        if not self.sequences:
+            return 0.0
+        return float(np.mean([seq.length for seq in self.sequences]))
+
+    @property
+    def sparsity(self) -> float:
+        """1 - |interactions| / (|users| * |items|), the Table II definition."""
+        if not self.sequences or self.num_items == 0:
+            return 1.0
+        return 1.0 - self.num_interactions / (self.num_users * self.num_items)
+
+    def sequence_lengths(self) -> np.ndarray:
+        return np.array([seq.length for seq in self.sequences], dtype=np.int64)
+
+    def item_popularity(self) -> np.ndarray:
+        """Interaction count per item, index 0 unused (padding)."""
+        counts = np.zeros(self.num_items + 1, dtype=np.int64)
+        for seq in self.sequences:
+            for item in seq.items():
+                counts[item] += 1
+        return counts
+
+    def __iter__(self) -> Iterator[UserSequence]:
+        return iter(self.sequences)
+
+    def __len__(self) -> int:
+        return len(self.sequences)
+
+
+@dataclass(frozen=True)
+class EvalSample:
+    """One evaluation case: a user, their history, and the held-out basket."""
+
+    user_id: int
+    history: Tuple[Tuple[int, ...], ...]
+    target: Tuple[int, ...]
+
+
+@dataclass
+class Split:
+    """Leave-one-out split: train corpus plus validation/test samples."""
+
+    train: SequenceCorpus
+    validation: List[EvalSample]
+    test: List[EvalSample]
+
+
+def leave_one_out_split(corpus: SequenceCorpus, min_length: int = 3) -> Split:
+    """The paper's protocol: last basket → test, second-last → validation.
+
+    Users with fewer than ``min_length`` baskets stay in training unchanged
+    (they cannot donate both held-out steps and still leave a history).
+    """
+    if min_length < 3:
+        raise ValueError("min_length below 3 cannot support a two-way holdout")
+    train_sequences: List[UserSequence] = []
+    validation: List[EvalSample] = []
+    test: List[EvalSample] = []
+    for seq in corpus.sequences:
+        if seq.length < min_length:
+            train_sequences.append(seq)
+            continue
+        test.append(EvalSample(user_id=seq.user_id,
+                               history=seq.baskets[:-1],
+                               target=seq.baskets[-1]))
+        validation.append(EvalSample(user_id=seq.user_id,
+                                     history=seq.baskets[:-2],
+                                     target=seq.baskets[-2]))
+        train_sequences.append(UserSequence(user_id=seq.user_id,
+                                            baskets=seq.baskets[:-2]))
+    train = SequenceCorpus(num_items=corpus.num_items, sequences=train_sequences)
+    return Split(train=train, validation=validation, test=test)
+
+
+def training_prefixes(corpus: SequenceCorpus, max_history: Optional[int] = None
+                      ) -> List[EvalSample]:
+    """Expand each training sequence into (history, next-basket) samples.
+
+    This realises the paper's eq. (1) sum over steps ``j``: every step with a
+    non-empty history becomes a supervised sample.  ``max_history`` truncates
+    long histories to their most recent steps.
+    """
+    samples: List[EvalSample] = []
+    for seq in corpus.sequences:
+        for j in range(1, seq.length):
+            history = seq.baskets[:j]
+            if max_history is not None and len(history) > max_history:
+                history = history[-max_history:]
+            samples.append(EvalSample(user_id=seq.user_id, history=history,
+                                      target=seq.baskets[j]))
+    return samples

@@ -1,0 +1,92 @@
+"""Dataset statistics: the paper's Table II and Fig. 3.
+
+Computes the five summary columns (users, items, interactions, average
+sequence length, sparsity) and the sequence-length histograms plotted in
+Fig. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .interactions import SequenceCorpus
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """One Table II row."""
+
+    name: str
+    num_users: int
+    num_items: int
+    num_interactions: int
+    average_sequence_length: float
+    sparsity: float
+
+    def as_row(self) -> Tuple:
+        return (self.name, self.num_users, self.num_items,
+                self.num_interactions, round(self.average_sequence_length, 2),
+                f"{self.sparsity * 100:.2f}%")
+
+
+def compute_statistics(name: str, corpus: SequenceCorpus) -> DatasetStatistics:
+    """Compute the Table II row for a corpus."""
+    return DatasetStatistics(
+        name=name,
+        num_users=corpus.num_users,
+        num_items=corpus.num_items,
+        num_interactions=corpus.num_interactions,
+        average_sequence_length=corpus.average_sequence_length,
+        sparsity=corpus.sparsity,
+    )
+
+
+def sequence_length_histogram(corpus: SequenceCorpus,
+                              bins: Sequence[int] = (1, 2, 3, 4, 5, 8, 12, 20, 50, 10**9)
+                              ) -> Dict[str, int]:
+    """Fig. 3 data: counts of users per sequence-length bucket.
+
+    ``bins`` are right-open bucket edges; the label of a bucket with edges
+    ``(a, b)`` is ``"a-b-1"`` or ``"a"`` for unit buckets and ``"a+"`` for
+    the unbounded tail.
+    """
+    lengths = corpus.sequence_lengths()
+    histogram: Dict[str, int] = {}
+    for lo, hi in zip(bins[:-1], bins[1:]):
+        if hi >= 10**8:
+            label = f"{lo}+"
+            count = int((lengths >= lo).sum())
+        elif hi - lo == 1:
+            label = str(lo)
+            count = int((lengths == lo).sum())
+        else:
+            label = f"{lo}-{hi - 1}"
+            count = int(((lengths >= lo) & (lengths < hi)).sum())
+        histogram[label] = count
+    return histogram
+
+
+def basket_size_distribution(corpus: SequenceCorpus) -> Dict[int, int]:
+    """Counts of baskets per basket size (diagnostic for next-basket data)."""
+    counts: Dict[int, int] = {}
+    for seq in corpus.sequences:
+        for basket in seq.baskets:
+            counts[len(basket)] = counts.get(len(basket), 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def compare_to_paper(stats: DatasetStatistics,
+                     paper_row: Dict[str, float]) -> Dict[str, float]:
+    """Ratio of measured to paper statistics (1.0 = exact match).
+
+    Used in EXPERIMENTS.md to document how faithfully the scaled synthetic
+    profile tracks the real dataset's shape.
+    """
+    return {
+        "users_ratio": stats.num_users / paper_row["users"],
+        "items_ratio": stats.num_items / paper_row["items"],
+        "interactions_ratio": stats.num_interactions / paper_row["interactions"],
+        "seqlen_ratio": stats.average_sequence_length / paper_row["seqlen"],
+        "sparsity_gap": stats.sparsity - paper_row["sparsity"],
+    }

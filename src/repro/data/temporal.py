@@ -1,0 +1,113 @@
+"""Regime-shift data generation for the dynamic-graph extension (§VI).
+
+The paper's future-work note — *"the causal relation can be altered when
+the interaction times are different"* — needs data whose causal structure
+actually changes over time to be testable.  This module generates such
+corpora: each user's sequence is produced in two phases, an *early* phase
+driven by one cluster-level DAG and a *late* phase driven by another
+(edge-rewired) DAG.  A static-graph model must average the two regimes; a
+dynamic model can track them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from .interactions import SequenceCorpus, UserSequence
+from .synthetic import (BehaviorSimulator, CauseMap, SimulatorConfig,
+                        SyntheticDataset)
+
+
+@dataclass
+class RegimeShiftDataset(SyntheticDataset):
+    """A two-phase dataset; ``cluster_graph`` holds the *late* regime."""
+
+    early_graph: np.ndarray = None
+    shift_fraction: float = 0.5
+
+
+def _rewire_graph(graph: np.ndarray, rng: np.random.Generator,
+                  rewire_fraction: float) -> np.ndarray:
+    """Move a fraction of edges to new (still acyclic) positions."""
+    from ..causal.graph import is_dag
+    out = graph.copy()
+    edges = list(zip(*np.nonzero(out)))
+    rng.shuffle(edges)
+    to_move = max(1, int(round(len(edges) * rewire_fraction)))
+    k = out.shape[0]
+    for source, target in edges[:to_move]:
+        out[source, target] = 0
+        for _ in range(20):
+            i, j = rng.integers(0, k, size=2)
+            if i == j or out[i, j]:
+                continue
+            out[i, j] = 1
+            if is_dag(out):
+                break
+            out[i, j] = 0
+    return out
+
+
+def generate_regime_shift_dataset(config: SimulatorConfig,
+                                  rewire_fraction: float = 0.5,
+                                  shift_fraction: float = 0.5,
+                                  name: str = "regime-shift"
+                                  ) -> RegimeShiftDataset:
+    """Generate a corpus whose causal graph changes mid-sequence.
+
+    The first ``shift_fraction`` of each user's steps follow the *early*
+    graph; the rest follow a rewired *late* graph.  Item clusters, features
+    and popularity stay fixed so the shift is purely structural.
+    """
+    simulator = BehaviorSimulator(config, name=name)
+    early_graph = simulator.cluster_graph.copy()
+    late_graph = _rewire_graph(early_graph, simulator._rng, rewire_fraction)
+
+    sequences: List[UserSequence] = []
+    cause_log: List[List[CauseMap]] = []
+    for user_id in range(config.num_users):
+        # Phase 1: early regime.
+        simulator.cluster_graph = early_graph
+        simulator._root_clusters = np.nonzero(early_graph.sum(axis=0) == 0)[0]
+        baskets, causes = simulator._simulate_user()
+        split_at = max(1, int(round(len(baskets) * shift_fraction)))
+        early_baskets, early_causes = baskets[:split_at], causes[:split_at]
+
+        # Phase 2: late regime, continuing the same history.
+        simulator.cluster_graph = late_graph
+        simulator._root_clusters = np.nonzero(late_graph.sum(axis=0) == 0)[0]
+        late_baskets, late_causes = simulator._simulate_user()
+        keep = max(1, len(baskets) - split_at)
+        baskets = list(early_baskets) + list(late_baskets[:keep])
+        causes = list(early_causes) + list(late_causes[:keep])
+
+        sequences.append(UserSequence(user_id=user_id,
+                                      baskets=tuple(baskets)))
+        cause_log.append(causes)
+
+    simulator.cluster_graph = late_graph
+    corpus = SequenceCorpus(num_items=config.num_items, sequences=sequences)
+    from .features import gps_like_features, text_like_features
+    safe_clusters = simulator.cluster_of_item * (simulator.cluster_of_item >= 0)
+    if config.feature_kind == "text":
+        features = text_like_features(safe_clusters, config.feature_dim,
+                                      simulator._rng)
+    else:
+        features = gps_like_features(safe_clusters, simulator._rng)
+    features[0] = 0.0
+    return RegimeShiftDataset(
+        name=name, config=config, corpus=corpus, features=features,
+        cluster_of_item=simulator.cluster_of_item,
+        cluster_graph=late_graph, cause_log=cause_log,
+        early_graph=early_graph, shift_fraction=shift_fraction)
+
+
+def graph_change_magnitude(dataset: RegimeShiftDataset) -> float:
+    """Fraction of edge slots that differ between the two regimes."""
+    diff = (dataset.early_graph != dataset.cluster_graph)
+    k = dataset.early_graph.shape[0]
+    off_diagonal = k * (k - 1)
+    return float(diff.sum()) / max(off_diagonal, 1)

@@ -1,0 +1,67 @@
+"""Ranking evaluation harness.
+
+Runs a recommender over held-out samples, collects per-user metric values
+(for significance testing) and their means.  Models implement the
+:class:`~repro.models.base.Recommender` protocol: ``recommend(samples, z)``
+returns a ranked item list per sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..data.interactions import EvalSample
+from . import metrics as M
+
+
+@dataclass
+class EvaluationResult:
+    """Per-user metric traces plus means for one model on one sample set."""
+
+    z: int
+    per_user: Dict[str, List[float]] = field(default_factory=dict)
+
+    def mean(self, metric: str) -> float:
+        return M.mean_metric(self.per_user.get(metric, []))
+
+    def summary(self) -> Dict[str, float]:
+        return {name: self.mean(name) for name in self.per_user}
+
+    def as_percentages(self) -> Dict[str, float]:
+        """Paper tables report percentage values with '%' omitted."""
+        return {name: 100.0 * value for name, value in self.summary().items()}
+
+
+def evaluate_rankings(rankings: Sequence[Sequence[int]],
+                      samples: Sequence[EvalSample],
+                      z: int = 5) -> EvaluationResult:
+    """Score precomputed rankings against sample targets."""
+    if len(rankings) != len(samples):
+        raise ValueError(
+            f"got {len(rankings)} rankings for {len(samples)} samples")
+    result = EvaluationResult(z=z, per_user={
+        "precision": [], "recall": [], "f1": [], "ndcg": [], "hit": [], "mrr": [],
+    })
+    for ranking, sample in zip(rankings, samples):
+        top = list(ranking)[:z]
+        relevant = set(sample.target)
+        result.per_user["precision"].append(M.precision_at_z(top, relevant))
+        result.per_user["recall"].append(M.recall_at_z(top, relevant))
+        result.per_user["f1"].append(M.f1_at_z(top, relevant))
+        result.per_user["ndcg"].append(M.ndcg_at_z(top, relevant))
+        result.per_user["hit"].append(M.hit_rate_at_z(top, relevant))
+        result.per_user["mrr"].append(M.mrr_at_z(top, relevant))
+    return result
+
+
+def evaluate_model(model, samples: Sequence[EvalSample], z: int = 5,
+                   batch_size: int = 128) -> EvaluationResult:
+    """Evaluate a model implementing ``recommend`` over ``samples``."""
+    if not samples:
+        raise ValueError("cannot evaluate on an empty sample list")
+    rankings: List[List[int]] = []
+    for start in range(0, len(samples), batch_size):
+        chunk = list(samples[start:start + batch_size])
+        rankings.extend(model.recommend(chunk, z=z))
+    return evaluate_rankings(rankings, samples, z=z)

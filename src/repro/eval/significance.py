@@ -1,0 +1,64 @@
+"""Statistical significance: the paper's paired t-test (p < 0.05 marker)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class PairedTestResult:
+    """Outcome of a paired comparison between two models' per-user metrics."""
+
+    t_statistic: float
+    p_value: float
+    mean_difference: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+    @property
+    def star(self) -> str:
+        """The paper's '*' marker for p < 0.05 improvements."""
+        return "*" if self.significant() and self.mean_difference > 0 else ""
+
+
+def paired_t_test(model_values: Sequence[float],
+                  baseline_values: Sequence[float]) -> PairedTestResult:
+    """Two-sided paired t-test on per-user metric values.
+
+    Degenerate inputs (length < 2 or identical vectors) return p = 1.0
+    rather than NaN, so table-rendering code never trips on edge cases.
+    """
+    a = np.asarray(model_values, dtype=np.float64)
+    b = np.asarray(baseline_values, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"paired test needs equal lengths, got {a.shape} vs {b.shape}")
+    mean_diff = float((a - b).mean()) if a.size else 0.0
+    if a.size < 2 or np.allclose(a, b):
+        return PairedTestResult(t_statistic=0.0, p_value=1.0,
+                                mean_difference=mean_diff)
+    t_stat, p_value = stats.ttest_rel(a, b)
+    if np.isnan(p_value):
+        return PairedTestResult(t_statistic=0.0, p_value=1.0,
+                                mean_difference=mean_diff)
+    return PairedTestResult(t_statistic=float(t_stat), p_value=float(p_value),
+                            mean_difference=mean_diff)
+
+
+def bootstrap_confidence_interval(values: Sequence[float],
+                                  num_resamples: int = 1000,
+                                  alpha: float = 0.05,
+                                  seed: int = 0) -> tuple:
+    """Percentile bootstrap CI for a metric mean (diagnostic extra)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return (0.0, 0.0)
+    rng = np.random.default_rng(seed)
+    resamples = rng.choice(arr, size=(num_resamples, arr.size), replace=True)
+    means = resamples.mean(axis=1)
+    lo, hi = np.quantile(means, [alpha / 2, 1 - alpha / 2])
+    return (float(lo), float(hi))

@@ -1,0 +1,54 @@
+"""Grid search over hyper-parameters (the paper's Table III protocol)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import Causer
+from ..data.interactions import leave_one_out_split
+from ..data.synthetic import SyntheticDataset
+from ..eval import evaluate_model
+from .config import BenchmarkSettings
+
+
+@dataclass
+class GridSearchResult:
+    """Outcome of a grid search: every configuration and the winner."""
+
+    parameter_grid: Dict[str, Sequence]
+    scores: List[Tuple[Dict, float]] = field(default_factory=list)
+
+    @property
+    def best(self) -> Tuple[Dict, float]:
+        return max(self.scores, key=lambda pair: pair[1])
+
+    def top(self, k: int = 5) -> List[Tuple[Dict, float]]:
+        return sorted(self.scores, key=lambda pair: -pair[1])[:k]
+
+
+def grid_search_causer(dataset: SyntheticDataset,
+                       parameter_grid: Dict[str, Sequence],
+                       settings: Optional[BenchmarkSettings] = None,
+                       metric: str = "ndcg",
+                       validation: bool = True) -> GridSearchResult:
+    """Exhaustive grid search for Causer, scored on the validation split.
+
+    ``parameter_grid`` maps :class:`~repro.core.config.CauserConfig` field
+    names to candidate values, e.g. ``{"epsilon": [0.1, 0.3], "eta": [0.5]}``.
+    """
+    settings = settings or BenchmarkSettings()
+    split = leave_one_out_split(dataset.corpus)
+    eval_samples = split.validation if validation else split.test
+    result = GridSearchResult(parameter_grid=dict(parameter_grid))
+    keys = list(parameter_grid)
+    for combo in itertools.product(*(parameter_grid[k] for k in keys)):
+        overrides = dict(zip(keys, combo))
+        config = settings.causer_config(dataset.name, **overrides)
+        model = Causer(dataset.corpus.num_users, dataset.num_items,
+                       dataset.features, config)
+        model.fit(split.train)
+        evaluation = evaluate_model(model, eval_samples, z=settings.z)
+        result.scores.append((overrides, 100.0 * evaluation.mean(metric)))
+    return result

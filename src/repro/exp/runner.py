@@ -1,0 +1,103 @@
+"""Model factory and single-run executor for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core import Causer
+from ..data.interactions import Split, leave_one_out_split
+from ..data.synthetic import SyntheticDataset
+from ..eval import EvaluationResult, evaluate_model
+from ..models import (BERT4Rec, BPR, FPMC, GRU4Rec, HRNN, MMSARec, NARM,
+                      NCF, PopularityRecommender, SASRec, STAMP, VTRNN)
+from .config import BenchmarkSettings
+
+#: Table IV model lineup (plus Pop, FPMC and BERT4Rec as extras).
+BASELINE_NAMES = ("Pop", "BPR", "NCF", "FPMC", "GRU4Rec", "NARM", "STAMP",
+                  "SASRec", "BERT4Rec", "HRNN", "VTRNN", "MMSARec")
+CAUSER_NAMES = ("Causer (LSTM)", "Causer (GRU)")
+ALL_MODEL_NAMES = BASELINE_NAMES + CAUSER_NAMES
+#: The subset the paper's Table IV reports (FPMC and Pop are our extras).
+TABLE4_MODEL_NAMES = ("BPR", "NCF", "GRU4Rec", "STAMP", "SASRec", "NARM",
+                      "VTRNN", "MMSARec") + CAUSER_NAMES
+
+
+def build_model(name: str, dataset: SyntheticDataset,
+                settings: BenchmarkSettings):
+    """Instantiate a model by its Table IV name."""
+    num_users = dataset.corpus.num_users
+    num_items = dataset.num_items
+    cfg = settings.train_config()
+    simple: Dict[str, Callable] = {
+        "Pop": lambda: PopularityRecommender(num_items),
+        "BPR": lambda: BPR(num_users, num_items, cfg),
+        "NCF": lambda: NCF(num_users, num_items, cfg),
+        "FPMC": lambda: FPMC(num_users, num_items, cfg),
+        "GRU4Rec": lambda: GRU4Rec(num_users, num_items, cfg),
+        "NARM": lambda: NARM(num_users, num_items, cfg),
+        "STAMP": lambda: STAMP(num_users, num_items, cfg),
+        "SASRec": lambda: SASRec(num_users, num_items, cfg),
+        "BERT4Rec": lambda: BERT4Rec(num_users, num_items, cfg),
+        "HRNN": lambda: HRNN(num_users, num_items, cfg),
+        "VTRNN": lambda: VTRNN(num_users, num_items, dataset.features, cfg),
+        "MMSARec": lambda: MMSARec(num_users, num_items, dataset.features, cfg),
+    }
+    if name in simple:
+        return simple[name]()
+    if name == "Causer (LSTM)":
+        return Causer(num_users, num_items, dataset.features,
+                      settings.causer_config(dataset.name, cell_type="lstm"))
+    if name == "Causer (GRU)":
+        return Causer(num_users, num_items, dataset.features,
+                      settings.causer_config(dataset.name, cell_type="gru"))
+    raise KeyError(f"unknown model name {name!r}; "
+                   f"choose from {ALL_MODEL_NAMES}")
+
+
+@dataclass
+class RunResult:
+    """One (model, dataset) training + evaluation outcome."""
+
+    model_name: str
+    dataset_name: str
+    result: EvaluationResult
+    fit_seconds: float
+    eval_seconds: float
+    final_loss: float
+
+    @property
+    def f1(self) -> float:
+        return 100.0 * self.result.mean("f1")
+
+    @property
+    def ndcg(self) -> float:
+        return 100.0 * self.result.mean("ndcg")
+
+
+def run_model(name: str, dataset: SyntheticDataset,
+              settings: BenchmarkSettings,
+              split: Optional[Split] = None) -> RunResult:
+    """Train and evaluate one model on one dataset."""
+    if split is None:
+        split = leave_one_out_split(dataset.corpus)
+    model = build_model(name, dataset, settings)
+    start = time.perf_counter()
+    fit = model.fit(split.train)
+    fit_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    result = evaluate_model(model, split.test, z=settings.z)
+    eval_seconds = time.perf_counter() - start
+    return RunResult(model_name=name, dataset_name=dataset.name,
+                     result=result, fit_seconds=fit_seconds,
+                     eval_seconds=eval_seconds,
+                     final_loss=fit.final_loss)
+
+
+def run_models(names: Sequence[str], dataset: SyntheticDataset,
+               settings: BenchmarkSettings) -> List[RunResult]:
+    """Run a list of models on the same dataset/split."""
+    split = leave_one_out_split(dataset.corpus)
+    return [run_model(name, dataset, settings, split=split)
+            for name in names]

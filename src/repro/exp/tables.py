@@ -1,0 +1,81 @@
+"""ASCII table rendering for benchmark output.
+
+The bench harnesses print the same row/column layout the paper's tables
+use; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None,
+                 float_format: str = "{:.2f}") -> str:
+    """Render a list of rows as an aligned ASCII table."""
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width)
+                          for cell, width in zip(cells, widths))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def render_metric_matrix(row_labels: Sequence[str],
+                         column_labels: Sequence[str],
+                         values: Dict[str, Dict[str, float]],
+                         title: Optional[str] = None,
+                         stars: Optional[Dict[str, Dict[str, str]]] = None
+                         ) -> str:
+    """Render model-by-dataset metric values (the Table IV layout).
+
+    ``values[row][column]`` holds the number; ``stars`` optionally appends
+    the paper's significance marker.
+    """
+    headers = ["model"] + list(column_labels)
+    rows = []
+    for row_label in row_labels:
+        row = [row_label]
+        for col in column_labels:
+            value = values.get(row_label, {}).get(col)
+            if value is None:
+                row.append("-")
+            else:
+                marker = ""
+                if stars is not None:
+                    marker = stars.get(row_label, {}).get(col, "")
+                row.append(f"{value:.2f}{marker}")
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_series(x_label: str, x_values: Sequence,
+                  series: Dict[str, Sequence[float]],
+                  title: Optional[str] = None) -> str:
+    """Render sweep results (the Fig. 4/5/6 layout): one row per x value.
+
+    The x column uses general formatting so 1e-8-style sweep values stay
+    readable; metric cells keep two decimals.
+    """
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        x_cell = f"{x:.4g}" if isinstance(x, float) else x
+        rows.append([x_cell] + [series[name][i] for name in series])
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,82 @@
+"""Model persistence: save/load trained models to a single ``.npz`` file.
+
+The archive stores every named parameter plus a JSON header with the model
+class, config dataclass fields and vocabulary sizes, so a model can be
+restored for inference without retraining.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from .core import Causer, CauserConfig
+from .models import (GRU4Rec, MMSARec, NARM, SASRec, STAMP, TrainConfig,
+                     VTRNN)
+
+PathLike = Union[str, pathlib.Path]
+
+_MODEL_CLASSES = {
+    "Causer": Causer,
+    "GRU4Rec": GRU4Rec,
+    "NARM": NARM,
+    "STAMP": STAMP,
+    "SASRec": SASRec,
+    "VTRNN": VTRNN,
+    "MMSARec": MMSARec,
+}
+_NEEDS_FEATURES = {"Causer", "VTRNN", "MMSARec"}
+
+
+def save_model(model, path: PathLike) -> None:
+    """Serialize a trained model (parameters + config) to ``path``.
+
+    Supported classes: Causer and the neural sequential baselines.
+    """
+    class_name = type(model).__name__
+    if class_name not in _MODEL_CLASSES:
+        raise TypeError(f"cannot serialize {class_name}; supported: "
+                        f"{sorted(_MODEL_CLASSES)}")
+    header = {
+        "class": class_name,
+        "num_users": model.num_users,
+        "num_items": model.num_items,
+        "config": dataclasses.asdict(model.config),
+    }
+    arrays = {f"param::{name}": values
+              for name, values in model.state_dict().items()}
+    if class_name == "Causer":
+        arrays["features"] = model.clusters.raw_features
+    elif class_name in _NEEDS_FEATURES:
+        arrays["features"] = model.item_features
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(str(path), **arrays)
+
+
+def load_model(path: PathLike):
+    """Restore a model saved with :func:`save_model`."""
+    with np.load(str(path)) as archive:
+        header = json.loads(bytes(archive["header"]).decode("utf-8"))
+        class_name = header["class"]
+        if class_name not in _MODEL_CLASSES:
+            raise TypeError(f"unknown model class in archive: {class_name}")
+        config_cls = CauserConfig if class_name == "Causer" else TrainConfig
+        config_fields = {f.name for f in dataclasses.fields(config_cls)}
+        config = config_cls(**{k: v for k, v in header["config"].items()
+                               if k in config_fields})
+        cls = _MODEL_CLASSES[class_name]
+        if class_name in _NEEDS_FEATURES:
+            model = cls(header["num_users"], header["num_items"],
+                        archive["features"], config)
+        else:
+            model = cls(header["num_users"], header["num_items"], config)
+        state = {key[len("param::"):]: archive[key]
+                 for key in archive.files if key.startswith("param::")}
+        model.load_state_dict(state)
+    model.eval()
+    return model

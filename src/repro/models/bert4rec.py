@@ -1,0 +1,78 @@
+"""BERT4Rec baseline (Sun et al., 2019) — cited in the paper's §IV.
+
+Bidirectional transformer encoder over the history with a cloze-style
+prediction head: a ``[MASK]`` token is appended after the history and the
+encoder state at that position (which may attend to *all* history steps,
+unlike SASRec's causal masking) scores the catalog.  Training follows the
+standard leave-one-out adaptation: the next basket plays the role of the
+masked position's target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.batching import PaddedBatch
+from ..nn import Embedding, Linear, Tensor, TransformerBlock
+from .base import NeuralSequentialRecommender, TrainConfig
+
+
+class BERT4Rec(NeuralSequentialRecommender):
+    """Bidirectional self-attention recommender with a mask-token head."""
+
+    name = "BERT4Rec"
+
+    def __init__(self, num_users: int, num_items: int,
+                 config: TrainConfig = None, num_blocks: int = 2,
+                 num_heads: int = 1) -> None:
+        super().__init__(num_users, num_items, config, name=self.name)
+        cfg = self.config
+        dim = cfg.embedding_dim
+        # Index num_items + 1 is the [MASK] token.
+        self.mask_token = num_items + 1
+        self.token_embedding = Embedding(num_items + 2, dim, self.rng,
+                                         padding_idx=0)
+        self.position_embedding = Embedding(cfg.max_history + 2, dim,
+                                            self.rng)
+        self.blocks = []
+        for i in range(num_blocks):
+            block = TransformerBlock(dim, num_heads, self.rng)
+            self.register_module(f"block{i}", block)
+            self.blocks.append(block)
+        self.project = Linear(dim, dim, self.rng)
+
+    def _token_embeddings(self, batch: PaddedBatch) -> Tensor:
+        """Basket-summed token embeddings per step: ``(B, T, d)``."""
+        gathered = self.token_embedding(batch.items)
+        mask = Tensor(batch.basket_mask[..., None])
+        return (gathered * mask).sum(axis=2)
+
+    def user_representation(self, batch: PaddedBatch) -> Tensor:
+        """Encoder state at the appended [MASK] position."""
+        step_embeddings = self._token_embeddings(batch)      # (B, T, d)
+        batch_size, time = step_embeddings.shape[0], step_embeddings.shape[1]
+
+        # Append the [MASK] token right after each row's last valid step by
+        # extending the sequence one slot and placing the mask embedding
+        # there; padded rows in between keep attention masked off.
+        mask_ids = np.full((batch_size, 1), self.mask_token, dtype=np.int64)
+        mask_embedding = self.token_embedding(mask_ids)      # (B, 1, d)
+        from ..nn import concat
+        extended = concat([step_embeddings, mask_embedding.reshape(
+            batch_size, 1, -1)], axis=1)                     # (B, T+1, d)
+
+        lengths = batch.step_mask.sum(axis=1)
+        # Move each row's mask embedding to position `length` via a gather
+        # trick: positions beyond length are padding anyway, so attending
+        # from the appended slot with full visibility of valid steps is
+        # equivalent to inserting at `length`.
+        positions = np.tile(np.arange(time + 1), (batch_size, 1))
+        positions = np.minimum(positions, self.config.max_history + 1)
+        x = extended + self.position_embedding(positions)
+
+        pad_mask = np.concatenate(
+            [batch.step_mask, np.ones((batch_size, 1), dtype=bool)], axis=1)
+        for block in self.blocks:
+            x = block(x, pad_mask=pad_mask, causal=False)    # bidirectional
+        mask_state = x[:, time, :]                            # the [MASK] slot
+        return self.project(mask_state)

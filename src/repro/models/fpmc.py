@@ -1,0 +1,116 @@
+"""FPMC baseline (Rendle et al., 2010).
+
+Factorized Personalized Markov Chains for next-basket recommendation: the
+score of item ``i`` for user ``u`` with previous basket ``B`` combines a
+matrix-factorization term and a factorized first-order transition term,
+
+    s(u, i | B) = <v_u^UI, v_i^IU> + (1/|B|) Σ_{l ∈ B} <v_l^LI, v_i^IL>.
+
+Trained with S-BPR (pairwise ranking over next-basket positives).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..data.interactions import EvalSample, SequenceCorpus
+from ..nn import Embedding, Module, losses, make_optimizer
+from .base import FitResult, Recommender, TrainConfig
+
+
+class FPMC(Recommender, Module):
+    """Factorized personalized Markov chain."""
+
+    name = "FPMC"
+
+    def __init__(self, num_users: int, num_items: int,
+                 config: TrainConfig = None) -> None:
+        Module.__init__(self)
+        self.config = config or TrainConfig()
+        self.num_users = num_users
+        self.num_items = num_items
+        self.rng = np.random.default_rng(self.config.seed)
+        dim = self.config.embedding_dim
+        self.user_ui = Embedding(max(num_users, 1), dim, self.rng)
+        self.item_iu = Embedding(num_items + 1, dim, self.rng, padding_idx=0)
+        self.item_li = Embedding(num_items + 1, dim, self.rng, padding_idx=0)
+        self.item_il = Embedding(num_items + 1, dim, self.rng, padding_idx=0)
+
+    @staticmethod
+    def _transitions(corpus: SequenceCorpus) -> List[Tuple[int, Tuple[int, ...], int]]:
+        """(user, previous basket, next item) training instances."""
+        out = []
+        for seq in corpus.sequences:
+            for prev, nxt in zip(seq.baskets[:-1], seq.baskets[1:]):
+                for item in nxt:
+                    out.append((seq.user_id, prev, item))
+        return out
+
+    def _pair_scores(self, users, prev_padded, prev_mask, items):
+        """Score a batch of (user, prev basket, item) triples."""
+        mf = (self.user_ui(users) * self.item_iu(items)).sum(axis=-1)
+        prev_emb = self.item_li(prev_padded)                 # (B, S, d)
+        masked = prev_emb * prev_mask[..., None]
+        basket_mean = masked.sum(axis=1) * (1.0 / np.maximum(
+            prev_mask.data.sum(axis=1, keepdims=True), 1.0))
+        markov = (basket_mean * self.item_il(items)).sum(axis=-1)
+        return mf + markov
+
+    def fit(self, corpus: SequenceCorpus) -> FitResult:
+        from ..nn import Tensor
+        cfg = self.config
+        transitions = self._transitions(corpus)
+        if not transitions:
+            raise ValueError("FPMC: no basket transitions in corpus")
+        optimizer = make_optimizer(cfg.optimizer, self.parameters(),
+                                   lr=cfg.learning_rate,
+                                   weight_decay=cfg.weight_decay)
+        result = FitResult()
+        max_slot = max(len(t[1]) for t in transitions)
+        for _ in range(cfg.num_epochs):
+            order = self.rng.permutation(len(transitions))
+            total, count = 0.0, 0
+            for start in range(0, len(transitions), cfg.batch_size):
+                rows = [transitions[i] for i in order[start:start + cfg.batch_size]]
+                users = np.asarray([r[0] for r in rows], dtype=np.int64)
+                positives = np.asarray([r[2] for r in rows], dtype=np.int64)
+                negatives = self.rng.integers(1, self.num_items + 1,
+                                              size=len(rows))
+                prev = np.zeros((len(rows), max_slot), dtype=np.int64)
+                prev_mask = np.zeros((len(rows), max_slot))
+                for i, row in enumerate(rows):
+                    for s, item in enumerate(row[1]):
+                        prev[i, s] = item
+                        prev_mask[i, s] = 1.0
+
+                optimizer.zero_grad()
+                mask_t = Tensor(prev_mask)
+                pos_scores = self._pair_scores(users, prev, mask_t, positives)
+                neg_scores = self._pair_scores(users, prev, mask_t, negatives)
+                loss = losses.bpr_loss(pos_scores, neg_scores)
+                loss.backward()
+                optimizer.clip_grad_norm(cfg.grad_clip)
+                optimizer.step()
+                for emb in (self.item_iu, self.item_li, self.item_il):
+                    emb.zero_padding_row()
+                total += loss.item()
+                count += 1
+            result.epoch_losses.append(total / max(count, 1))
+        return result
+
+    def score_samples(self, samples: Sequence[EvalSample]) -> np.ndarray:
+        scores = np.zeros((len(samples), self.num_items + 1))
+        iu = self.item_iu.weight.data
+        il = self.item_il.weight.data
+        li = self.item_li.weight.data
+        for row, sample in enumerate(samples):
+            user_vec = self.user_ui.weight.data[sample.user_id]
+            last_basket = sample.history[-1] if sample.history else ()
+            markov = np.zeros(self.num_items + 1)
+            if last_basket:
+                basket_mean = li[list(last_basket)].mean(axis=0)
+                markov = il @ basket_mean
+            scores[row] = iu @ user_vec + markov
+        return scores

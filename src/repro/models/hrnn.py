@@ -1,0 +1,57 @@
+"""HRNN baseline (Quadrana et al., 2017) — cited in the paper's §IV.
+
+Hierarchical recurrent network for personalized session-based
+recommendation: a *session-level* GRU reads the items inside a session, and
+a *user-level* GRU evolves across session boundaries, seeding each new
+session's initial state.  Our corpora store one basket sequence per user;
+sessions are derived by slicing the sequence into fixed-length windows
+(``session_length``), which mirrors the time-gap sessionization the
+original paper applies to timestamped logs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..data.batching import PaddedBatch
+from ..nn import GRUCell, Linear, Tensor
+from .base import NeuralSequentialRecommender, TrainConfig
+
+
+class HRNN(NeuralSequentialRecommender):
+    """Hierarchical GRU: session-level dynamics + cross-session user state."""
+
+    name = "HRNN"
+
+    def __init__(self, num_users: int, num_items: int,
+                 config: TrainConfig = None, session_length: int = 4) -> None:
+        super().__init__(num_users, num_items, config, name=self.name)
+        if session_length < 1:
+            raise ValueError("session_length must be positive")
+        self.session_length = session_length
+        cfg = self.config
+        self.session_cell = GRUCell(cfg.embedding_dim, cfg.hidden_dim,
+                                    self.rng)
+        self.user_cell = GRUCell(cfg.hidden_dim, cfg.hidden_dim, self.rng)
+        self.session_init = Linear(cfg.hidden_dim, cfg.hidden_dim, self.rng)
+        self.project = Linear(cfg.hidden_dim, cfg.embedding_dim, self.rng)
+
+    def user_representation(self, batch: PaddedBatch) -> Tensor:
+        inputs = self.basket_input_embeddings(batch)          # (B, T, d)
+        batch_size, time = inputs.shape[0], inputs.shape[1]
+        step_mask = batch.step_mask
+
+        user_state = Tensor(np.zeros((batch_size, self.config.hidden_dim)))
+        session_state = self.session_init(user_state).tanh()
+        for t in range(time):
+            if t > 0 and t % self.session_length == 0:
+                # Session boundary: fold the finished session into the
+                # user-level GRU and re-seed the session-level state.
+                user_state = self.user_cell(session_state, user_state)
+                session_state = self.session_init(user_state).tanh()
+            new_state = self.session_cell(inputs[:, t, :], session_state)
+            keep = Tensor(step_mask[:, t:t + 1].astype(np.float64))
+            session_state = new_state * keep + session_state * (1.0 - keep)
+        return self.project(session_state)

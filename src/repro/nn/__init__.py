@@ -1,0 +1,29 @@
+"""`repro.nn` — a from-scratch neural-network substrate on numpy.
+
+The paper's reference implementation relied on PyTorch/MindSpore; this
+package provides the equivalent machinery (reverse-mode autograd, layers,
+recurrent cells, attention, optimizers and losses) so the reproduction is
+fully self-contained.
+"""
+
+from .tensor import Tensor, concat, gradient_check, maximum, stack, where
+from .module import (Dropout, Embedding, LayerNorm, Linear, MLP, Module,
+                     Parameter, Sequential, no_grad)
+from .rnn import GRUCell, LSTMCell, RecurrentLayer
+from .attention import (AdditiveAttention, BilinearAttention,
+                        MultiHeadSelfAttention, TransformerBlock)
+from .optim import SGD, Adagrad, Adam, Optimizer, StepLR, make_optimizer
+from . import functional
+from . import init
+from . import losses
+
+__all__ = [
+    "Tensor", "concat", "stack", "where", "maximum", "gradient_check",
+    "Module", "Parameter", "Linear", "Embedding", "Dropout", "LayerNorm",
+    "Sequential", "MLP", "no_grad",
+    "GRUCell", "LSTMCell", "RecurrentLayer",
+    "BilinearAttention", "AdditiveAttention", "MultiHeadSelfAttention",
+    "TransformerBlock",
+    "Optimizer", "SGD", "Adam", "Adagrad", "StepLR", "make_optimizer",
+    "functional", "init", "losses",
+]

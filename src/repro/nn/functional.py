@@ -1,0 +1,103 @@
+"""Functional neural-network operations built on :class:`repro.nn.tensor.Tensor`.
+
+These are composite, numerically-careful operations used by layers and
+models: stable softmax / log-softmax, masked variants for padded sequences,
+embedding lookup, dropout and one-hot encoding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
+    """Softmax that assigns zero probability where ``mask`` is False.
+
+    ``mask`` is a constant boolean array broadcastable to ``x``.  Rows whose
+    mask is entirely False produce all-zero probabilities instead of NaNs,
+    which is the behaviour sequence models want for fully-padded rows.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    neg_inf = np.where(mask, 0.0, -1e30)
+    shifted = x + Tensor(neg_inf)
+    shifted = shifted - Tensor(shifted.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp() * Tensor(mask.astype(np.float64))
+    denom = exp.sum(axis=axis, keepdims=True) + 1e-12
+    return exp / denom
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``weight`` by an integer index array.
+
+    Gradients are scatter-added back into the embedding matrix, matching
+    ``torch.nn.functional.embedding``.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    return weight[indices]
+
+
+def multihot_lookup(weight: Tensor, multihot: np.ndarray) -> Tensor:
+    """Project multi-hot rows through an embedding matrix.
+
+    ``multihot`` has shape ``(..., vocab)``; the result is
+    ``multihot @ weight`` of shape ``(..., dim)``, i.e. the sum of member
+    item embeddings — the paper's treatment of basket steps.
+    """
+    return Tensor(np.asarray(multihot, dtype=np.float64)) @ weight
+
+
+def dropout(x: Tensor, rate: float, training: bool,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: identity at eval time, rescaled mask when training."""
+    if not training or rate <= 0.0:
+        return x
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= rate) / (1.0 - rate)
+    return x * Tensor(mask)
+
+
+def one_hot(indices: np.ndarray, depth: int) -> np.ndarray:
+    """Constant one-hot encoding (no gradient flows through indices)."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out = np.zeros(indices.shape + (depth,), dtype=np.float64)
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` (PyTorch layout)."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out

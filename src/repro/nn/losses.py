@@ -1,0 +1,87 @@
+"""Loss functions for recommendation training.
+
+All losses return scalar tensors; targets and masks are constant numpy
+arrays (no gradient flows into them).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+
+def bce_with_logits(logits: Tensor, targets: np.ndarray,
+                    mask: Optional[np.ndarray] = None) -> Tensor:
+    """Numerically stable binary cross-entropy on raw logits.
+
+    Uses the identity ``BCE = max(x, 0) - x*y + log(1 + exp(-|x|))`` which is
+    the paper's eq. (11) objective applied with sigmoid scoring and negative
+    sampling.  ``mask`` selects which entries participate (padded positions
+    drop out); the loss is averaged over participating entries.
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    x = logits
+    relu_x = x.relu()
+    softplus = (1.0 + (-x.abs()).exp()).log()
+    per_entry = relu_x - x * Tensor(targets) + softplus
+    if mask is not None:
+        mask = np.asarray(mask, dtype=np.float64)
+        total = per_entry * Tensor(mask)
+        denom = max(float(mask.sum()), 1.0)
+        return total.sum() * (1.0 / denom)
+    return per_entry.mean()
+
+
+def bce_on_probabilities(probs: Tensor, targets: np.ndarray,
+                         mask: Optional[np.ndarray] = None,
+                         eps: float = 1e-9) -> Tensor:
+    """Binary cross-entropy for models that output probabilities directly."""
+    targets = np.asarray(targets, dtype=np.float64)
+    clipped = probs.clip(eps, 1.0 - eps)
+    per_entry = -(Tensor(targets) * clipped.log()
+                  + Tensor(1.0 - targets) * (1.0 - clipped).log())
+    if mask is not None:
+        mask = np.asarray(mask, dtype=np.float64)
+        total = per_entry * Tensor(mask)
+        denom = max(float(mask.sum()), 1.0)
+        return total.sum() * (1.0 / denom)
+    return per_entry.mean()
+
+
+def bpr_loss(pos_scores: Tensor, neg_scores: Tensor) -> Tensor:
+    """Bayesian personalized ranking loss: ``-mean log sigmoid(pos - neg)``."""
+    diff = pos_scores - neg_scores
+    # The sigmoid op is clipped-stable at extreme inputs, and this form has
+    # the correct gradient sigma(-d) everywhere (a relu/abs composition of
+    # softplus has a dead subgradient exactly at d = 0, where training starts).
+    probability = diff.sigmoid().clip(1e-15, 1.0)
+    return -probability.log().mean()
+
+
+def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target."""
+    diff = pred - Tensor(np.asarray(target, dtype=np.float64))
+    return (diff * diff).mean()
+
+
+def cross_entropy(logits: Tensor, target_indices: np.ndarray) -> Tensor:
+    """Softmax cross-entropy with integer class targets."""
+    log_probs = F.log_softmax(logits, axis=-1)
+    targets = np.asarray(target_indices, dtype=np.int64)
+    rows = np.arange(log_probs.shape[0])
+    picked = log_probs[rows, targets]
+    return -picked.mean()
+
+
+def l1_penalty(tensor: Tensor) -> Tensor:
+    """Sum of absolute values — the sparsity regularizer on ``W^c``."""
+    return tensor.abs().sum()
+
+
+def l2_penalty(tensor: Tensor) -> Tensor:
+    """Sum of squares (no 1/2 factor)."""
+    return (tensor * tensor).sum()

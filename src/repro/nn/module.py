@@ -1,0 +1,250 @@
+"""Module/Parameter abstractions and common layers.
+
+The API intentionally mirrors a small subset of ``torch.nn``: modules own
+parameters and sub-modules, ``parameters()`` walks the tree, and
+``train()``/``eval()`` toggle behaviours such as dropout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as trainable by modules."""
+
+    def __init__(self, data, name: Optional[str] = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+import contextlib
+
+
+@contextlib.contextmanager
+def no_grad(module: "Module"):
+    """Temporarily disable gradient tracking for every parameter of
+    ``module``: forward passes inside the block build no autograd graph,
+    which makes inference measurably cheaper."""
+    params = list(module.parameters())
+    flags = [p.requires_grad for p in params]
+    for param in params:
+        param.requires_grad = False
+    try:
+        yield
+    finally:
+        for param, flag in zip(params, flags):
+            param.requires_grad = flag
+
+
+class Module:
+    """Base class for all neural network modules."""
+
+    def __init__(self) -> None:
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self.training = True
+
+    # -- registration ---------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # -- traversal ------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every trainable parameter in this module tree (deduplicated)."""
+        seen = set()
+        for param in self._parameters.values():
+            if id(param) not in seen:
+                seen.add(id(param))
+                yield param
+        for module in self._modules.values():
+            for param in module.parameters():
+                if id(param) not in seen:
+                    seen.add(id(param))
+                    yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield f"{prefix}{name}", param
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    # -- mode & gradient management --------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- state dict -------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        if missing:
+            raise KeyError(f"state dict is missing parameters: {sorted(missing)}")
+        for name, values in state.items():
+            if name not in own:
+                raise KeyError(f"unexpected parameter in state dict: {name}")
+            if own[name].data.shape != values.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{own[name].data.shape} vs {values.shape}")
+            own[name].data[...] = values
+
+    # -- call protocol ----------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b`` with Xavier-uniform weights."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((out_features, in_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+
+class Embedding(Module):
+    """Lookup table of dense vectors, with optional padding index.
+
+    Row ``padding_idx`` is kept at zero: its gradient updates are masked out
+    after each backward pass by the optimizers via the ``frozen_rows`` hint.
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: np.random.Generator, padding_idx: Optional[int] = None,
+                 std: float = 0.05) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.padding_idx = padding_idx
+        weight = init.normal((num_embeddings, embedding_dim), rng, std=std)
+        if padding_idx is not None:
+            weight[padding_idx] = 0.0
+        self.weight = Parameter(weight)
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        out = F.embedding_lookup(self.weight, indices)
+        return out
+
+    def zero_padding_row(self) -> None:
+        """Re-zero the padding row (call after optimizer steps)."""
+        if self.padding_idx is not None:
+            self.weight.data[self.padding_idx] = 0.0
+
+
+class Dropout(Module):
+    """Inverted dropout driven by an explicit generator for reproducibility."""
+
+    def __init__(self, rate: float, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.rate = rate
+        self.rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.rate, self.training, self.rng)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers: List[Module] = list(layers)
+        for i, layer in enumerate(self.layers):
+            self.register_module(f"layer{i}", layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable activation."""
+
+    def __init__(self, dims: Sequence[int], rng: np.random.Generator,
+                 activation: str = "relu", final_activation: bool = False) -> None:
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least input and output dims")
+        self.activation = activation
+        self.final_activation = final_activation
+        self.linears: List[Linear] = []
+        for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            layer = Linear(d_in, d_out, rng)
+            self.register_module(f"fc{i}", layer)
+            self.linears.append(layer)
+
+    def _activate(self, x: Tensor) -> Tensor:
+        if self.activation == "relu":
+            return x.relu()
+        if self.activation == "tanh":
+            return x.tanh()
+        if self.activation == "sigmoid":
+            return x.sigmoid()
+        raise ValueError(f"unknown activation: {self.activation}")
+
+    def forward(self, x: Tensor) -> Tensor:
+        for i, layer in enumerate(self.linears):
+            x = layer(x)
+            if i < len(self.linears) - 1 or self.final_activation:
+                x = self._activate(x)
+        return x

@@ -1,0 +1,160 @@
+"""First-order optimizers, gradient clipping and learning-rate schedules."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .module import Parameter
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Clip gradients jointly to ``max_norm``; return the pre-clip norm."""
+        total = 0.0
+        for param in self.params:
+            if param.grad is not None:
+                total += float((param.grad ** 2).sum())
+        norm = float(np.sqrt(total))
+        if norm > max_norm and norm > 0:
+            scale = max_norm / norm
+            for param in self.params:
+                if param.grad is not None:
+                    param.grad *= scale
+        return norm
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for param in self.params:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                vel = self._velocity.get(id(param))
+                if vel is None:
+                    vel = np.zeros_like(param.data)
+                vel = self.momentum * vel + grad
+                self._velocity[id(param)] = vel
+                grad = vel
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for param in self.params:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m = self._m.get(id(param))
+            v = self._v.get(id(param))
+            if m is None:
+                m = np.zeros_like(param.data)
+                v = np.zeros_like(param.data)
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad ** 2
+            self._m[id(param)] = m
+            self._v[id(param)] = v
+            param.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+
+class Adagrad(Optimizer):
+    """Adagrad optimizer, the historical choice for sparse recommenders."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 0.01,
+                 eps: float = 1e-10) -> None:
+        super().__init__(params, lr)
+        self.eps = eps
+        self._accum: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for param in self.params:
+            if param.grad is None:
+                continue
+            accum = self._accum.get(id(param))
+            if accum is None:
+                accum = np.zeros_like(param.data)
+            accum = accum + param.grad ** 2
+            self._accum[id(param)] = accum
+            param.data -= self.lr * param.grad / (np.sqrt(accum) + self.eps)
+
+
+class StepLR:
+    """Multiply the optimizer learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> None:
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+
+    @property
+    def lr(self) -> float:
+        return self.optimizer.lr
+
+
+def make_optimizer(name: str, params: Iterable[Parameter], lr: float,
+                   weight_decay: float = 0.0) -> Optimizer:
+    """Factory used by the experiment configs ('adam' | 'sgd' | 'adagrad')."""
+    name = name.lower()
+    if name == "adam":
+        return Adam(params, lr=lr, weight_decay=weight_decay)
+    if name == "sgd":
+        return SGD(params, lr=lr, weight_decay=weight_decay)
+    if name == "adagrad":
+        return Adagrad(params, lr=lr)
+    raise ValueError(f"unknown optimizer: {name!r}")

@@ -1,0 +1,85 @@
+"""Tests for the NOTEARS acyclicity constraint h(W)."""
+
+import numpy as np
+import pytest
+
+from repro.causal import (h_tensor, h_value, h_value_and_grad,
+                          polynomial_h_value, random_dag)
+from repro.nn import Tensor
+
+
+class TestHValue:
+    def test_zero_on_dag(self):
+        rng = np.random.default_rng(0)
+        for seed in range(5):
+            dag = random_dag(6, 0.4, np.random.default_rng(seed)).astype(float)
+            assert h_value(dag) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_on_cycle(self):
+        cycle = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert h_value(cycle) > 0.5
+
+    def test_grows_with_cycle_weight(self):
+        def cyc(w):
+            return np.array([[0.0, w], [w, 0.0]])
+        assert h_value(cyc(2.0)) > h_value(cyc(1.0)) > h_value(cyc(0.5)) > 0
+
+    def test_self_loop_detected(self):
+        m = np.zeros((3, 3))
+        m[1, 1] = 1.0
+        assert h_value(m) > 0
+
+
+class TestGradient:
+    def test_matches_finite_differences(self):
+        rng = np.random.default_rng(1)
+        w = rng.normal(size=(4, 4)) * 0.5
+        _, grad = h_value_and_grad(w)
+        eps = 1e-6
+        for i in range(4):
+            for j in range(4):
+                w_plus, w_minus = w.copy(), w.copy()
+                w_plus[i, j] += eps
+                w_minus[i, j] -= eps
+                numeric = (h_value(w_plus) - h_value(w_minus)) / (2 * eps)
+                assert grad[i, j] == pytest.approx(numeric, abs=1e-5)
+
+    def test_zero_gradient_at_zero(self):
+        _, grad = h_value_and_grad(np.zeros((3, 3)))
+        np.testing.assert_allclose(grad, np.zeros((3, 3)))
+
+
+class TestHTensor:
+    def test_forward_matches_numpy(self):
+        rng = np.random.default_rng(2)
+        w = rng.normal(size=(4, 4)) * 0.3
+        t = Tensor(w, requires_grad=True)
+        assert h_tensor(t).item() == pytest.approx(h_value(w), rel=1e-12)
+
+    def test_backward_matches_analytic(self):
+        rng = np.random.default_rng(3)
+        w = rng.normal(size=(3, 3)) * 0.4
+        t = Tensor(w, requires_grad=True)
+        h_tensor(t).backward()
+        _, grad = h_value_and_grad(w)
+        np.testing.assert_allclose(t.grad, grad, rtol=1e-10)
+
+    def test_chains_with_other_ops(self):
+        rng = np.random.default_rng(4)
+        t = Tensor(rng.normal(size=(3, 3)) * 0.2, requires_grad=True)
+        out = h_tensor(t) * 2.0 + (t * t).sum()
+        out.backward()
+        assert t.grad is not None
+
+
+class TestPolynomialApproximation:
+    def test_converges_to_exact(self):
+        rng = np.random.default_rng(5)
+        w = rng.normal(size=(5, 5)) * 0.3
+        exact = h_value(w)
+        approx = polynomial_h_value(w, order=30)
+        assert approx == pytest.approx(exact, rel=1e-6)
+
+    def test_zero_on_dag(self):
+        dag = random_dag(5, 0.4, np.random.default_rng(6)).astype(float)
+        assert polynomial_h_value(dag, order=10) == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,92 @@
+"""Tests for d-separation: canonical structures plus a networkx cross-check."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.causal import (d_connected, d_separated, non_descendant_set,
+                          random_dag, to_networkx)
+
+
+def chain():
+    m = np.zeros((3, 3))
+    m[0, 1] = m[1, 2] = 1
+    return m
+
+
+def collider():
+    m = np.zeros((3, 3))
+    m[0, 2] = m[1, 2] = 1
+    return m
+
+
+def fork():
+    m = np.zeros((3, 3))
+    m[2, 0] = m[2, 1] = 1
+    return m
+
+
+class TestCanonicalStructures:
+    def test_chain_blocked_by_middle(self):
+        assert d_separated(chain(), [0], [2], [1])
+        assert not d_separated(chain(), [0], [2], [])
+
+    def test_fork_blocked_by_root(self):
+        assert d_separated(fork(), [0], [1], [2])
+        assert not d_separated(fork(), [0], [1], [])
+
+    def test_collider_opens_when_conditioned(self):
+        assert d_separated(collider(), [0], [1], [])
+        assert not d_separated(collider(), [0], [1], [2])
+
+    def test_collider_descendant_opens_path(self):
+        m = np.zeros((4, 4))
+        m[0, 2] = m[1, 2] = m[2, 3] = 1  # 3 is a descendant of collider 2
+        assert d_separated(m, [0], [1], [])
+        assert not d_separated(m, [0], [1], [3])
+
+    def test_same_node_connected(self):
+        assert not d_separated(chain(), [0], [0], [])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            d_separated(chain(), [0], [5], [])
+
+    def test_d_connected_negation(self):
+        assert d_connected(chain(), [0], [2], [])
+        assert not d_connected(chain(), [0], [2], [1])
+
+    def test_disconnected_nodes_separated(self):
+        m = np.zeros((4, 4))
+        m[0, 1] = 1
+        assert d_separated(m, [0], [3], [])
+
+
+class TestNonDescendantSet:
+    def test_chain(self):
+        # non-descendants of 0 and 1 in the chain exclude all of {0,1,2}.
+        assert non_descendant_set(chain(), 0, 1) == set()
+
+    def test_collider(self):
+        assert non_descendant_set(collider(), 0, 1) == set()
+
+    def test_isolated(self):
+        m = np.zeros((4, 4))
+        m[0, 1] = 1
+        assert non_descendant_set(m, 2, 3) == {0, 1}
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(3, 7))
+def test_agrees_with_networkx(seed, n):
+    """Cross-check against networkx's d_separated on random DAG queries."""
+    rng = np.random.default_rng(seed)
+    dag = random_dag(n, 0.4, rng)
+    graph = to_networkx(dag)
+    nodes = list(rng.permutation(n))
+    x, y = nodes[0], nodes[1]
+    z = set(int(v) for v in nodes[2:2 + int(rng.integers(0, n - 2 + 1))])
+    ours = d_separated(dag, [x], [y], z)
+    theirs = nx.is_d_separator(graph, {x}, {y}, z)
+    assert ours == theirs

@@ -1,0 +1,92 @@
+"""Tests for the linear NOTEARS solver and identifiability experiments."""
+
+import numpy as np
+import pytest
+
+from repro.causal import (evaluate_structure, is_dag, notears_linear,
+                          random_dag, run_identifiability_study,
+                          run_identifiability_trial, simulate_linear_sem,
+                          standardize, weighted_dag)
+
+
+@pytest.fixture(scope="module")
+def recovered():
+    """Run NOTEARS once on a well-posed 6-node problem; reuse across tests."""
+    rng = np.random.default_rng(42)
+    truth = random_dag(6, 0.35, rng)
+    weights = weighted_dag(truth, rng)
+    data = standardize(simulate_linear_sem(weights, 1500, rng))
+    result = notears_linear(data, lambda1=0.05)
+    return truth, weights, result
+
+
+class TestNotearsLinear:
+    def test_result_is_dag(self, recovered):
+        _, _, result = recovered
+        assert is_dag(result.adjacency)
+        assert result.h_final < 1e-6
+
+    def test_structure_recovered(self, recovered):
+        truth, _, result = recovered
+        metrics = evaluate_structure(truth, result.adjacency)
+        assert metrics.skeleton_f1 >= 0.8
+        assert metrics.shd <= 2
+
+    def test_weights_close_to_truth(self, recovered):
+        truth, weights, result = recovered
+        mask = truth == 1
+        learned = result.weights[mask]
+        np.testing.assert_allclose(learned, weights[mask], atol=0.35)
+
+    def test_history_recorded(self, recovered):
+        _, _, result = recovered
+        assert len(result.history) == result.iterations
+        hs = [h for h, _ in result.history]
+        assert hs[-1] <= hs[0]
+
+    def test_rejects_1d_data(self):
+        with pytest.raises(ValueError):
+            notears_linear(np.zeros(10))
+
+    def test_empty_graph_on_independent_data(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(800, 4))
+        result = notears_linear(data, lambda1=0.1)
+        assert result.adjacency.sum() <= 1
+
+    def test_two_node_direction(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=2000)
+        y = 1.5 * x + 0.4 * rng.normal(size=2000)  # unequal noise -> direction identifiable
+        data = standardize(np.stack([x, y], axis=1))
+        result = notears_linear(data, lambda1=0.02)
+        assert result.adjacency[0, 1] == 1
+        assert result.adjacency[1, 0] == 0
+
+
+class TestIdentifiability:
+    def test_trial_returns_metrics(self):
+        trial = run_identifiability_trial(num_nodes=5, num_samples=500, seed=3)
+        assert trial.metrics.shd >= 0
+        assert 0.0 <= trial.metrics.skeleton_f1 <= 1.0
+
+    def test_study_improves_with_samples(self):
+        reports = run_identifiability_study(num_nodes=5,
+                                            sample_sizes=(50, 1000),
+                                            trials_per_size=2, base_seed=1)
+        assert len(reports) == 2
+        small, large = reports
+        assert large.mean_skeleton_f1 >= small.mean_skeleton_f1 - 0.1
+
+    def test_report_summary_keys(self):
+        reports = run_identifiability_study(num_nodes=4, sample_sizes=(200,),
+                                            trials_per_size=1)
+        summary = reports[0].summary()
+        assert set(summary) == {"num_nodes", "num_samples",
+                                "mec_recovery_rate", "mean_shd",
+                                "mean_skeleton_f1"}
+
+    def test_large_sample_recovers_mec(self):
+        trial = run_identifiability_trial(num_nodes=4, num_samples=3000,
+                                          seed=7)
+        assert trial.metrics.skeleton_f1 >= 0.85

@@ -1,0 +1,105 @@
+"""Tests for the constraint-based PC algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.causal import (cpdag, pc_algorithm, random_dag,
+                          simulate_linear_sem, standardize, weighted_dag)
+from repro.causal.pc import fisher_z_test
+
+
+def generate(seed, n_nodes=5, n_samples=3000, edge_prob=0.35):
+    rng = np.random.default_rng(seed)
+    truth = random_dag(n_nodes, edge_prob, rng)
+    weights = weighted_dag(truth, rng)
+    data = standardize(simulate_linear_sem(weights, n_samples, rng))
+    return truth, data
+
+
+class TestFisherZ:
+    def test_independent_variables_high_p(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(5000, 3))
+        corr = np.corrcoef(data, rowvar=False)
+        assert fisher_z_test(corr, 0, 1, (), 5000) > 0.01
+
+    def test_dependent_variables_low_p(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=5000)
+        y = x + 0.5 * rng.normal(size=5000)
+        corr = np.corrcoef(np.stack([x, y], axis=1), rowvar=False)
+        assert fisher_z_test(corr, 0, 1, (), 5000) < 1e-6
+
+    def test_conditional_independence_in_chain(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=8000)
+        z = x + 0.5 * rng.normal(size=8000)
+        y = z + 0.5 * rng.normal(size=8000)
+        corr = np.corrcoef(np.stack([x, y, z], axis=1), rowvar=False)
+        assert fisher_z_test(corr, 0, 1, (), 8000) < 1e-6       # marginal dep
+        assert fisher_z_test(corr, 0, 1, (2,), 8000) > 0.01     # cond indep
+
+    def test_insufficient_dof(self):
+        corr = np.eye(4)
+        assert fisher_z_test(corr, 0, 1, (2, 3), 5) == 1.0
+
+
+class TestPCAlgorithm:
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            pc_algorithm(np.zeros(10))
+
+    def test_recovers_cpdag(self):
+        truth, data = generate(seed=0)
+        result = pc_algorithm(data, alpha=0.05)
+        np.testing.assert_array_equal(result.cpdag, cpdag(truth))
+
+    @pytest.mark.parametrize("seed", [3, 7, 11])
+    def test_skeleton_recovery_across_seeds(self, seed):
+        truth, data = generate(seed=seed)
+        result = pc_algorithm(data, alpha=0.05)
+        true_pattern = cpdag(truth)
+        true_skeleton = ((true_pattern + true_pattern.T) > 0)
+        learned_skeleton = ((result.cpdag + result.cpdag.T) > 0)
+        agreement = (true_skeleton == learned_skeleton).mean()
+        assert agreement >= 0.85
+
+    def test_empty_graph_on_independent_data(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=(3000, 4))
+        result = pc_algorithm(data, alpha=0.01)
+        assert result.cpdag.sum() <= 2
+
+    def test_collider_oriented(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=6000)
+        y = rng.normal(size=6000)
+        z = x + y + 0.5 * rng.normal(size=6000)
+        data = standardize(np.stack([x, y, z], axis=1))
+        result = pc_algorithm(data, alpha=0.05)
+        assert (0, 2) in result.directed_edges()
+        assert (1, 2) in result.directed_edges()
+
+    def test_chain_stays_undirected(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=6000)
+        z = x + 0.5 * rng.normal(size=6000)
+        y = z + 0.5 * rng.normal(size=6000)
+        data = standardize(np.stack([x, y, z], axis=1))
+        # alpha=0.01: at 0.05 the x-y test rejects ~5% of seeds by chance.
+        result = pc_algorithm(data, alpha=0.01)
+        # chain x - z - y has no v-structure: both edges stay undirected.
+        assert set(result.undirected_edges()) == {(0, 2), (1, 2)}
+
+    def test_max_condition_size(self):
+        _, data = generate(seed=8)
+        result = pc_algorithm(data, alpha=0.05, max_condition_size=0)
+        assert result.cpdag.shape == (5, 5)
+
+    def test_agrees_with_notears_mec(self):
+        """PC and NOTEARS should land in the same MEC on easy problems."""
+        from repro.causal import notears_linear
+        truth, data = generate(seed=9, n_nodes=4)
+        pc_pattern = pc_algorithm(data, alpha=0.05).cpdag
+        notears = notears_linear(data, lambda1=0.05)
+        np.testing.assert_array_equal(pc_pattern, cpdag(notears.adjacency))

@@ -1,0 +1,107 @@
+"""Tests for random DAG generation and linear SEM sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.causal import (is_dag, random_dag, random_dag_scale_free,
+                          simulate_linear_sem, standardize, weighted_dag)
+
+
+class TestRandomDag:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 10),
+           p=st.floats(0.0, 1.0))
+    def test_always_acyclic(self, seed, n, p):
+        dag = random_dag(n, p, np.random.default_rng(seed))
+        assert is_dag(dag)
+
+    def test_edge_prob_extremes(self):
+        rng = np.random.default_rng(0)
+        assert random_dag(5, 0.0, rng).sum() == 0
+        full = random_dag(5, 1.0, rng)
+        assert full.sum() == 10  # complete DAG on 5 nodes
+
+    def test_invalid_edge_prob(self):
+        with pytest.raises(ValueError):
+            random_dag(4, 1.5, np.random.default_rng(0))
+
+
+class TestScaleFreeDag:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), n=st.integers(3, 12))
+    def test_acyclic(self, seed, n):
+        dag = random_dag_scale_free(n, 2, np.random.default_rng(seed))
+        assert is_dag(dag)
+
+    def test_hub_structure(self):
+        dag = random_dag_scale_free(30, 2, np.random.default_rng(1))
+        out_degrees = dag.sum(axis=1)
+        # Preferential attachment produces at least one hub.
+        assert out_degrees.max() >= 4
+
+
+class TestWeightedDag:
+    def test_weights_in_range(self):
+        rng = np.random.default_rng(2)
+        adj = random_dag(6, 0.5, rng)
+        weights = weighted_dag(adj, rng, weight_range=(0.5, 2.0))
+        nonzero = np.abs(weights[adj == 1])
+        assert (nonzero >= 0.5).all() and (nonzero <= 2.0).all()
+        assert (weights[adj == 0] == 0).all()
+
+    def test_no_negative_option(self):
+        rng = np.random.default_rng(3)
+        adj = random_dag(6, 0.5, rng)
+        weights = weighted_dag(adj, rng, allow_negative=False)
+        assert (weights >= 0).all()
+
+    def test_invalid_range(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            weighted_dag(np.zeros((2, 2)), rng, weight_range=(0.0, 1.0))
+
+
+class TestSimulateLinearSem:
+    def test_shape(self):
+        rng = np.random.default_rng(5)
+        adj = weighted_dag(random_dag(5, 0.4, rng), rng)
+        data = simulate_linear_sem(adj, 100, rng)
+        assert data.shape == (100, 5)
+
+    def test_root_variance_matches_noise(self):
+        rng = np.random.default_rng(6)
+        weights = np.zeros((2, 2))
+        weights[0, 1] = 2.0
+        data = simulate_linear_sem(weights, 20_000, rng, noise_scale=1.0)
+        assert data[:, 0].std() == pytest.approx(1.0, rel=0.05)
+        # child = 2 * parent + noise -> std = sqrt(4 + 1)
+        assert data[:, 1].std() == pytest.approx(np.sqrt(5.0), rel=0.05)
+
+    def test_child_correlates_with_parent(self):
+        rng = np.random.default_rng(7)
+        weights = np.zeros((2, 2))
+        weights[0, 1] = 1.5
+        data = simulate_linear_sem(weights, 5000, rng)
+        corr = np.corrcoef(data[:, 0], data[:, 1])[0, 1]
+        assert corr > 0.7
+
+    @pytest.mark.parametrize("noise", ["gaussian", "exponential", "gumbel"])
+    def test_noise_kinds(self, noise):
+        rng = np.random.default_rng(8)
+        weights = np.zeros((3, 3))
+        weights[0, 1] = 1.0
+        data = simulate_linear_sem(weights, 200, rng, noise=noise)
+        assert np.isfinite(data).all()
+
+    def test_unknown_noise(self):
+        with pytest.raises(ValueError):
+            simulate_linear_sem(np.zeros((2, 2)), 10,
+                                np.random.default_rng(0), noise="cauchy")
+
+    def test_standardize_centers(self):
+        rng = np.random.default_rng(9)
+        data = rng.normal(5.0, 2.0, size=(500, 3))
+        centered = standardize(data)
+        np.testing.assert_allclose(centered.mean(axis=0), np.zeros(3),
+                                   atol=1e-10)

@@ -1,0 +1,36 @@
+"""Shared fixtures: tiny synthetic datasets and model configs.
+
+Session-scoped where generation is deterministic and read-only, so the
+suite stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (SimulatorConfig, generate_dataset, leave_one_out_split,
+                        training_prefixes)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """~80 users, 40 items, 4 clusters — enough structure, fast to fit."""
+    config = SimulatorConfig(num_users=80, num_items=40, num_clusters=4,
+                             edge_prob=0.5, mean_sequence_length=5.0,
+                             causal_follow_prob=0.8, noise_prob=0.1,
+                             basket_extra_prob=0.2, seed=7)
+    return generate_dataset(config, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_dataset):
+    return leave_one_out_split(tiny_dataset.corpus)
+
+
+@pytest.fixture(scope="session")
+def tiny_train_samples(tiny_split):
+    return training_prefixes(tiny_split.train, max_history=10)

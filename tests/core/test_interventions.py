@@ -1,0 +1,127 @@
+"""Tests for interventional analysis on trained models."""
+
+import numpy as np
+import pytest
+
+from repro.core import (Causer, CauserConfig, counterfactual_scores,
+                        counterfactual_shift, intervention_report,
+                        most_influential_history_item, total_cluster_effect,
+                        total_effect_matrix)
+from repro.data import EvalSample
+
+
+class TestTotalEffects:
+    def chain(self):
+        # 0 -0.5-> 1 -0.8-> 2
+        w = np.zeros((3, 3))
+        w[0, 1] = 0.5
+        w[1, 2] = 0.8
+        return w
+
+    def test_direct_edge(self):
+        assert total_cluster_effect(self.chain(), 0, 1) == pytest.approx(0.5)
+
+    def test_path_product(self):
+        assert total_cluster_effect(self.chain(), 0, 2) == pytest.approx(0.4)
+
+    def test_no_path(self):
+        assert total_cluster_effect(self.chain(), 2, 0) == 0.0
+
+    def test_parallel_paths_sum(self):
+        w = np.zeros((3, 3))
+        w[0, 1] = 0.5   # direct
+        w[0, 2] = 1.0   # via 2
+        w[2, 1] = 0.5
+        assert total_cluster_effect(w, 0, 1) == pytest.approx(1.0)
+
+    def test_matrix_matches_pairwise(self):
+        rng = np.random.default_rng(0)
+        from repro.causal import random_dag, weighted_dag
+        dag = weighted_dag(random_dag(5, 0.4, rng), rng,
+                           weight_range=(0.2, 0.6), allow_negative=False)
+        matrix = total_effect_matrix(dag)
+        for i in range(5):
+            for j in range(5):
+                if i != j:
+                    assert matrix[i, j] == pytest.approx(
+                        total_cluster_effect(dag, i, j), abs=1e-9)
+
+    def test_matrix_diagonal_zero(self):
+        matrix = total_effect_matrix(self.chain())
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+
+
+@pytest.fixture(scope="module")
+def model(tiny_dataset, tiny_split):
+    config = CauserConfig(embedding_dim=8, hidden_dim=8, num_epochs=3,
+                          batch_size=64, num_clusters=4, epsilon=0.2,
+                          eta=0.5, seed=0)
+    causer = Causer(tiny_dataset.corpus.num_users, tiny_dataset.num_items,
+                    tiny_dataset.features, config)
+    causer.fit(tiny_split.train)
+    return causer
+
+
+class TestCounterfactuals:
+    def sample(self):
+        return EvalSample(user_id=0, history=((1,), (5,), (9,)), target=(3,))
+
+    def test_scores_shape(self, model, tiny_dataset):
+        scores = counterfactual_scores(model, self.sample(), remove_item=5)
+        assert scores.shape == (tiny_dataset.num_items + 1,)
+
+    def test_removal_changes_scores(self, model):
+        base = model.score_samples([self.sample()])[0]
+        removed = counterfactual_scores(model, self.sample(), remove_item=5)
+        assert not np.allclose(base, removed)
+
+    def test_removing_absent_item_is_noop(self, model):
+        base = model.score_samples([self.sample()])[0]
+        removed = counterfactual_scores(model, self.sample(), remove_item=40)
+        np.testing.assert_allclose(base, removed, atol=1e-10)
+
+    def test_empty_history_returns_none(self, model):
+        single = EvalSample(user_id=0, history=((7,),), target=(3,))
+        assert counterfactual_scores(model, single, remove_item=7) is None
+
+    def test_shift_is_scalar(self, model):
+        shift = counterfactual_shift(model, self.sample(), remove_item=5)
+        assert np.isfinite(shift)
+
+    def test_most_influential_in_history(self, model):
+        item, shift = most_influential_history_item(model, self.sample())
+        assert item in (1, 5, 9)
+        assert np.isfinite(shift)
+
+    def test_most_influential_empty_history_raises(self, model):
+        with pytest.raises(ValueError):
+            most_influential_history_item(
+                model, EvalSample(user_id=0, history=(), target=(1,)))
+
+    def test_report_format(self, model):
+        text = intervention_report(model, self.sample())
+        assert "score attribution" in text
+        assert "remove item#" in text
+
+    def test_true_cause_removal_hurts_more_than_noise(self, model,
+                                                      tiny_dataset):
+        """Removing a cluster-level true cause of the target lowers its
+        score at least as much as removing a causally irrelevant item,
+        averaged over test cases."""
+        graph = tiny_dataset.cluster_graph
+        clusters = tiny_dataset.cluster_of_item
+        cause_shifts, other_shifts = [], []
+        for seq in tiny_dataset.corpus.sequences[:60]:
+            if seq.length < 3 or any(len(b) != 1 for b in seq.baskets):
+                continue
+            target = seq.baskets[-1][0]
+            history = seq.baskets[:-1]
+            sample = EvalSample(user_id=seq.user_id, history=history,
+                                target=(target,))
+            for basket in history:
+                item = basket[0]
+                is_cause = graph[clusters[item], clusters[target]] == 1
+                shift = counterfactual_shift(model, sample, item)
+                (cause_shifts if is_cause else other_shifts).append(shift)
+        if cause_shifts and other_shifts:
+            assert np.mean(cause_shifts) >= np.mean(other_shifts) - 0.05

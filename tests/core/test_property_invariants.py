@@ -1,0 +1,99 @@
+"""Hypothesis property tests on Causer's structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Causer, CauserConfig
+from repro.data import EvalSample, pad_samples
+from repro.nn import Tensor
+
+
+@pytest.fixture(scope="module")
+def model(tiny_dataset):
+    config = CauserConfig(embedding_dim=8, hidden_dim=8, num_clusters=4,
+                          epsilon=0.2, eta=0.5, seed=0)
+    return Causer(tiny_dataset.corpus.num_users, tiny_dataset.num_items,
+                  tiny_dataset.features, config)
+
+
+def random_samples(rng, num_items, count, max_len=6):
+    samples = []
+    for user in range(count):
+        length = int(rng.integers(1, max_len + 1))
+        history = tuple((int(rng.integers(1, num_items + 1)),)
+                        for _ in range(length))
+        samples.append(EvalSample(user_id=user, history=history,
+                                  target=(int(rng.integers(1, num_items + 1)),)))
+    return samples
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_eq9_respects_assignment_mixture(model, seed):
+    """W_ab = ā^T W^c b̄ must be linear in both assignment vectors."""
+    rng = np.random.default_rng(seed)
+    k = model.config.num_clusters
+    a1 = rng.dirichlet(np.ones(k))
+    a2 = rng.dirichlet(np.ones(k))
+    b = rng.dirichlet(np.ones(k))
+    w = model.graph.numpy_matrix()
+    lam = rng.random()
+    mixed = lam * a1 + (1 - lam) * a2
+    direct = mixed @ w @ b
+    combined = lam * (a1 @ w @ b) + (1 - lam) * (a2 @ w @ b)
+    assert direct == pytest.approx(combined, rel=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_batch_order_invariance(model, tiny_dataset, seed):
+    """Scoring a permuted batch permutes the scores and nothing else."""
+    rng = np.random.default_rng(seed)
+    samples = random_samples(rng, tiny_dataset.num_items, 6)
+    scores = model.score_samples(samples)
+    perm = rng.permutation(len(samples))
+    permuted_scores = model.score_samples([samples[i] for i in perm])
+    np.testing.assert_allclose(permuted_scores, scores[perm], atol=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_padding_invariance(model, tiny_dataset, seed):
+    """Batching a short history with longer ones must not change its score."""
+    rng = np.random.default_rng(seed)
+    short = random_samples(rng, tiny_dataset.num_items, 1, max_len=2)[0]
+    long_ones = random_samples(rng, tiny_dataset.num_items, 3, max_len=6)
+    alone = model.score_samples([short])
+    together = model.score_samples([short] + long_ones)
+    np.testing.assert_allclose(together[0], alone[0], atol=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_candidate_subset_consistency(model, tiny_dataset, seed):
+    """Explicit-candidate logits must match the full-catalog columns."""
+    rng = np.random.default_rng(seed)
+    samples = random_samples(rng, tiny_dataset.num_items, 4)
+    batch = pad_samples(samples)
+    candidates = rng.integers(1, tiny_dataset.num_items + 1, size=(4, 6))
+    explicit = model.candidate_logits(batch, candidates).data
+    full = model.candidate_logits(batch, None).data
+    rows = np.arange(4)[:, None]
+    np.testing.assert_allclose(explicit, full[rows, candidates], atol=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_epsilon_one_blocks_everything(tiny_dataset, seed):
+    """ε=1.0 exceeds any mixture value: every causal effect is gated off,
+    so all candidates score exactly the output bias."""
+    config = CauserConfig(embedding_dim=8, hidden_dim=8, num_clusters=4,
+                          epsilon=1.0, eta=0.5, seed=seed % 100)
+    blocked = Causer(tiny_dataset.corpus.num_users, tiny_dataset.num_items,
+                     tiny_dataset.features, config)
+    rng = np.random.default_rng(seed)
+    samples = random_samples(rng, tiny_dataset.num_items, 3)
+    scores = blocked.score_samples(samples)
+    np.testing.assert_allclose(
+        scores, np.tile(blocked.output_bias.data, (3, 1)), atol=1e-9)

@@ -1,0 +1,144 @@
+"""Tests for the causal behaviour simulator."""
+
+import numpy as np
+import pytest
+
+from repro.causal import is_dag
+from repro.data import BehaviorSimulator, SimulatorConfig, generate_dataset
+
+
+class TestConfigValidation:
+    def test_items_per_cluster(self):
+        with pytest.raises(ValueError):
+            SimulatorConfig(num_items=3, num_clusters=5)
+
+    def test_probability_range(self):
+        with pytest.raises(ValueError):
+            SimulatorConfig(causal_follow_prob=1.5)
+
+    def test_feature_kind(self):
+        with pytest.raises(ValueError):
+            SimulatorConfig(feature_kind="audio")
+
+
+class TestGeneration:
+    def test_reproducible(self):
+        cfg = SimulatorConfig(num_users=30, num_items=20, num_clusters=4,
+                              seed=11)
+        a = generate_dataset(cfg)
+        b = generate_dataset(cfg)
+        assert [s.baskets for s in a.corpus] == [s.baskets for s in b.corpus]
+        np.testing.assert_array_equal(a.cluster_graph, b.cluster_graph)
+        np.testing.assert_allclose(a.features, b.features)
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset(SimulatorConfig(num_users=30, num_items=20,
+                                             num_clusters=4, seed=1))
+        b = generate_dataset(SimulatorConfig(num_users=30, num_items=20,
+                                             num_clusters=4, seed=2))
+        assert [s.baskets for s in a.corpus] != [s.baskets for s in b.corpus]
+
+    def test_cluster_graph_is_dag_with_edges(self, tiny_dataset):
+        assert is_dag(tiny_dataset.cluster_graph)
+        assert tiny_dataset.cluster_graph.sum() >= 1
+
+    def test_sequence_length_bounds(self, tiny_dataset):
+        cfg = tiny_dataset.config
+        for s in tiny_dataset.corpus:
+            assert cfg.min_sequence_length <= s.length <= cfg.max_sequence_length
+
+    def test_basket_sizes_bounded(self, tiny_dataset):
+        for s in tiny_dataset.corpus:
+            for basket in s.baskets:
+                assert 1 <= len(basket) <= tiny_dataset.config.max_basket_size
+
+    def test_features_cover_padded_vocab(self, tiny_dataset):
+        assert tiny_dataset.features.shape[0] == tiny_dataset.num_items + 1
+        np.testing.assert_allclose(tiny_dataset.features[0], 0.0)
+
+    def test_cluster_assignment_shape(self, tiny_dataset):
+        assert tiny_dataset.cluster_of_item[0] == -1
+        real = tiny_dataset.cluster_of_item[1:]
+        assert real.min() >= 0
+        assert real.max() < tiny_dataset.num_clusters
+
+
+class TestCauseLog:
+    def test_aligned_with_baskets(self, tiny_dataset):
+        for seq, causes in zip(tiny_dataset.corpus, tiny_dataset.cause_log):
+            assert len(causes) == seq.length
+            for basket, cause_map in zip(seq.baskets, causes):
+                assert set(cause_map) == set(basket)
+
+    def test_triggers_precede_effects(self, tiny_dataset):
+        for seq, causes in zip(tiny_dataset.corpus, tiny_dataset.cause_log):
+            seen = set()
+            for basket, cause_map in zip(seq.baskets, causes):
+                for item in basket:
+                    for trigger in cause_map[item]:
+                        assert trigger in seen
+                seen.update(basket)
+
+    def test_triggers_respect_cluster_graph(self, tiny_dataset):
+        graph = tiny_dataset.cluster_graph
+        clusters = tiny_dataset.cluster_of_item
+        for seq, causes in zip(tiny_dataset.corpus, tiny_dataset.cause_log):
+            for basket, cause_map in zip(seq.baskets, causes):
+                for item in basket:
+                    for trigger in cause_map[item]:
+                        assert graph[clusters[trigger], clusters[item]] == 1
+
+    def test_causal_fraction_plausible(self, tiny_dataset):
+        total, caused = 0, 0
+        for causes in tiny_dataset.cause_log:
+            for cause_map in causes[1:]:  # first step cannot be causal
+                for cause in cause_map.values():
+                    total += 1
+                    caused += bool(cause)
+        assert caused / total > 0.3
+
+
+class TestGroundTruthHelpers:
+    def test_item_causal_matrix_matches_clusters(self, tiny_dataset):
+        matrix = tiny_dataset.item_causal_matrix()
+        clusters = tiny_dataset.cluster_of_item
+        graph = tiny_dataset.cluster_graph
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a, b = rng.integers(1, tiny_dataset.num_items + 1, size=2)
+            expected = graph[clusters[a], clusters[b]]
+            assert matrix[a, b] == expected
+
+    def test_padding_rows_zero(self, tiny_dataset):
+        matrix = tiny_dataset.item_causal_matrix()
+        assert matrix[0].sum() == 0
+        assert matrix[:, 0].sum() == 0
+
+    def test_true_causes_in_history(self, tiny_dataset):
+        clusters = tiny_dataset.cluster_of_item
+        graph = tiny_dataset.cluster_graph
+        target = 1
+        history = list(range(1, tiny_dataset.num_items + 1))
+        causes = tiny_dataset.true_causes_in_history(history, target)
+        for item in causes:
+            assert graph[clusters[item], clusters[target]] == 1
+
+
+class TestAffinity:
+    def test_preferred_effects_deterministic(self, tiny_dataset):
+        sim = BehaviorSimulator(tiny_dataset.config)
+        a = sim.preferred_effects(5, 1)
+        b = sim.preferred_effects(5, 1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_preferred_effects_in_cluster(self, tiny_dataset):
+        sim = BehaviorSimulator(tiny_dataset.config)
+        for cluster in range(tiny_dataset.num_clusters):
+            for trigger in (1, 7, 13):
+                for item in sim.preferred_effects(trigger, cluster):
+                    assert sim.cluster_of_item[item] == cluster
+
+    def test_fanout_respected(self, tiny_dataset):
+        sim = BehaviorSimulator(tiny_dataset.config)
+        fanout = tiny_dataset.config.affinity_fanout
+        assert len(sim.preferred_effects(3, 0)) <= fanout

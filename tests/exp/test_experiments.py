@@ -1,0 +1,96 @@
+"""Smoke tests for the per-table/figure experiment functions (quick mode)."""
+
+import numpy as np
+import pytest
+
+from repro.exp import (ABLATION_VARIANTS, causer_parameter_sweep,
+                       efficiency_study, figure3_sequence_lengths,
+                       figure7_explanation, figure8_case_studies,
+                       quick_settings, table2_statistics, table4_overall,
+                       table5_ablation)
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return quick_settings()
+
+
+class TestTable2AndFigure3:
+    def test_table2_all_rows(self, settings):
+        result = table2_statistics(settings)
+        assert len(result.rows) == 5
+        assert "Table II" in result.render()
+
+    def test_figure3_histograms(self, settings):
+        result = figure3_sequence_lengths(settings)
+        assert set(result.histograms) == {"epinions", "foursquare", "patio",
+                                          "baby", "video"}
+        assert "Figure 3" in result.render()
+
+
+class TestTable4:
+    def test_small_grid(self, settings):
+        result = table4_overall(settings, datasets=("baby",),
+                                models=("Pop", "GRU4Rec", "Causer (GRU)"))
+        assert "baby" in result.f1["Pop"]
+        assert "baby" in result.ndcg["Causer (GRU)"]
+        rendered = result.render()
+        assert "Table IV" in rendered
+        assert "NDCG@5" in rendered
+
+    def test_best_baseline_excludes_causer(self, settings):
+        result = table4_overall(settings, datasets=("baby",),
+                                models=("Pop", "Causer (GRU)"))
+        name, _ = result.best_baseline("baby")
+        assert name == "Pop"
+
+    def test_improvement_computable(self, settings):
+        result = table4_overall(settings, datasets=("baby",),
+                                models=("Pop", "Causer (GRU)"))
+        assert np.isfinite(result.causer_improvement("ndcg"))
+
+
+class TestSweeps:
+    def test_epsilon_sweep_series(self, settings):
+        result = causer_parameter_sweep("epsilon", (0.1, 0.5), settings,
+                                        datasets=("baby",), cells=("gru",))
+        assert result.values == [0.1, 0.5]
+        assert len(result.ndcg["baby/gru"]) == 2
+        assert "ε" in result.render() or "epsilon" in result.render()
+
+    def test_best_value(self, settings):
+        result = causer_parameter_sweep("num_clusters", (3, 5), settings,
+                                        datasets=("baby",), cells=("gru",))
+        assert result.best_value("baby/gru") in (3, 5)
+
+
+class TestTable5:
+    def test_all_variants_present(self, settings):
+        result = table5_ablation(settings, datasets=("baby",),
+                                 cells=("gru",))
+        for variant in ABLATION_VARIANTS:
+            assert "baby/gru" in result.ndcg[variant]
+        assert "Table V" in result.render()
+
+
+class TestFigure7And8:
+    def test_figure7_output(self, settings):
+        result = figure7_explanation(settings, cells=("gru",),
+                                     max_samples=50)
+        assert result.num_samples > 0
+        assert any("Causer/gru" == k for k in result.f1)
+        assert "Figure 7" in result.render()
+
+    def test_figure8_cases(self, settings):
+        result = figure8_case_studies(settings, num_cases=2)
+        assert len(result.cases) == 2
+        assert "true causes" in result.render()
+
+
+class TestEfficiency:
+    def test_efficiency_quantities(self, settings):
+        result = efficiency_study(settings)
+        assert result.train_every_epoch_seconds > 0
+        assert result.train_slow_updates_seconds > 0
+        assert result.inference_ratio > 0
+        assert "§III-C" in result.render()

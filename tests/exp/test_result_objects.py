@@ -1,0 +1,105 @@
+"""Pure-unit tests for the experiment result dataclasses (no training)."""
+
+import numpy as np
+import pytest
+
+from repro.exp.experiments import (EfficiencyResult, Figure3Result,
+                                   Figure7Result, SweepResult, Table2Result,
+                                   Table4Result, Table5Result)
+
+
+class TestTable4Result:
+    def make(self):
+        return Table4Result(
+            datasets=["d1", "d2"],
+            models=["Base", "Other", "Causer (GRU)"],
+            f1={"Base": {"d1": 1.0, "d2": 2.0},
+                "Other": {"d1": 1.5, "d2": 1.0},
+                "Causer (GRU)": {"d1": 2.0, "d2": 2.2}},
+            ndcg={"Base": {"d1": 2.0, "d2": 4.0},
+                  "Other": {"d1": 3.0, "d2": 2.0},
+                  "Causer (GRU)": {"d1": 4.5, "d2": 4.4}},
+            stars={"Causer (GRU)": {"d1": "*"}})
+
+    def test_best_baseline_excludes_causer(self):
+        result = self.make()
+        name, value = result.best_baseline("d1")
+        assert name == "Other"
+        assert value == 3.0
+
+    def test_best_baseline_f1_metric(self):
+        result = self.make()
+        name, value = result.best_baseline("d2", metric="f1")
+        assert name == "Base"
+        assert value == 2.0
+
+    def test_causer_improvement(self):
+        result = self.make()
+        # d1: (4.5-3)/3 = 50%; d2: (4.4-4)/4 = 10% -> mean 30%.
+        assert result.causer_improvement("ndcg") == pytest.approx(30.0)
+
+    def test_render_includes_stars(self):
+        text = self.make().render()
+        assert "4.50*" in text
+        assert "Causer mean improvement" in text
+
+
+class TestSweepResult:
+    def make(self):
+        return SweepResult(parameter="epsilon", values=[0.1, 0.5, 0.9],
+                           ndcg={"baby/gru": [1.0, 3.0, 2.0]})
+
+    def test_best_value(self):
+        assert self.make().best_value("baby/gru") == 0.5
+
+    def test_render_title(self):
+        assert "Figure 5" in self.make().render()
+
+    def test_unknown_parameter_renders_raw(self):
+        sweep = SweepResult(parameter="gamma", values=[1],
+                            ndcg={"x": [1.0]})
+        assert "gamma" in sweep.render()
+
+
+class TestOtherResults:
+    def test_table2_render(self):
+        result = Table2Result(rows=[("baby", 10, 5, 30, 3.0, "99.00%")])
+        assert "baby" in result.render()
+
+    def test_figure3_render_skips_empty_buckets(self):
+        result = Figure3Result(histograms={"baby": {"3": 5, "4": 0}})
+        text = result.render()
+        assert "3: 5" in text
+        assert "4: 0" not in text
+
+    def test_table5_render_labels(self):
+        result = Table5Result(
+            ndcg={v: {"baby/gru": 1.0}
+                  for v in ("-rec", "-clus", "-att", "-causal", "full")},
+            columns=["baby/gru"])
+        text = result.render()
+        assert "Causer (-rec)" in text
+        assert "Causer " in text
+
+    def test_figure7_render(self):
+        result = Figure7Result(f1={"Causer/gru": 50.0},
+                               ndcg={"Causer/gru": 60.0},
+                               num_samples=100, avg_causes=1.5)
+        text = result.render()
+        assert "100" in text and "1.5" in text
+
+    def test_efficiency_properties(self):
+        result = EfficiencyResult(train_every_epoch_seconds=10.0,
+                                  train_slow_updates_seconds=8.0,
+                                  causer_inference_seconds=2.0,
+                                  sasrec_inference_seconds=1.0)
+        assert result.training_speedup_percent == pytest.approx(20.0)
+        assert result.inference_ratio == pytest.approx(2.0)
+
+    def test_efficiency_zero_guards(self):
+        result = EfficiencyResult(train_every_epoch_seconds=0.0,
+                                  train_slow_updates_seconds=0.0,
+                                  causer_inference_seconds=1.0,
+                                  sasrec_inference_seconds=0.0)
+        assert result.training_speedup_percent == 0.0
+        assert result.inference_ratio == float("inf")

@@ -1,0 +1,59 @@
+"""Tests for the hierarchical RNN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.data import EvalSample
+from repro.eval import evaluate_model
+from repro.models import HRNN, TrainConfig
+
+QUICK = TrainConfig(embedding_dim=8, hidden_dim=8, num_epochs=2,
+                    batch_size=64, max_history=8, seed=0)
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_dataset, tiny_split):
+    model = HRNN(tiny_dataset.corpus.num_users, tiny_dataset.num_items,
+                 QUICK, session_length=3)
+    fit = model.fit(tiny_split.train)
+    return model, fit
+
+
+class TestHRNN:
+    def test_session_length_validated(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            HRNN(5, tiny_dataset.num_items, QUICK, session_length=0)
+
+    def test_trains(self, fitted):
+        _, fit = fitted
+        assert fit.epoch_losses[-1] < fit.epoch_losses[0]
+
+    def test_scores_shape(self, fitted, tiny_dataset, tiny_split):
+        model, _ = fitted
+        scores = model.score_samples(tiny_split.test[:4])
+        assert scores.shape == (4, tiny_dataset.num_items + 1)
+        assert np.isfinite(scores).all()
+
+    def test_cross_session_memory(self, fitted):
+        """Items before a session boundary still influence the output
+        (through the user-level GRU)."""
+        model, _ = fitted
+        base = EvalSample(user_id=0,
+                          history=((1,), (2,), (3,), (4,), (5,)),
+                          target=(6,))
+        changed = EvalSample(user_id=0,
+                             history=((7,), (2,), (3,), (4,), (5,)),
+                             target=(6,))
+        a = model.score_samples([base])
+        b = model.score_samples([changed])
+        assert not np.allclose(a, b)
+
+    def test_beats_random(self, fitted, tiny_dataset, tiny_split):
+        model, _ = fitted
+        result = evaluate_model(model, tiny_split.test, z=5)
+        assert result.mean("hit") > 5 / tiny_dataset.num_items
+
+    def test_runner_integration(self, tiny_dataset):
+        from repro.exp import build_model, quick_settings
+        model = build_model("HRNN", tiny_dataset, quick_settings())
+        assert isinstance(model, HRNN)

@@ -1,0 +1,72 @@
+"""Edge cases of the shared ranking interface."""
+
+import numpy as np
+import pytest
+
+from repro.data import EvalSample, SequenceCorpus, UserSequence
+from repro.models import PopularityRecommender
+from repro.models.base import Recommender
+
+
+class FixedScores(Recommender):
+    """Test double returning a predetermined score matrix."""
+
+    def __init__(self, scores):
+        self._scores = np.asarray(scores, dtype=np.float64)
+
+    def score_samples(self, samples):
+        return np.tile(self._scores, (len(samples), 1))
+
+
+def sample():
+    return EvalSample(user_id=0, history=((1,),), target=(2,))
+
+
+class TestRecommendEdgeCases:
+    def test_z_larger_than_catalog(self):
+        model = FixedScores([0.0, 3.0, 1.0, 2.0])  # 3 real items
+        ranking = model.recommend([sample()], z=10)[0]
+        assert len(ranking) <= 10
+        assert ranking[0] == 1
+
+    def test_padding_never_recommended_even_if_best(self):
+        model = FixedScores([100.0, 1.0, 2.0])
+        ranking = model.recommend([sample()], z=2)[0]
+        assert 0 not in ranking
+        assert ranking == [2, 1]
+
+    def test_descending_order(self):
+        model = FixedScores([0.0, 5.0, 9.0, 1.0, 7.0])
+        ranking = model.recommend([sample()], z=3)[0]
+        assert ranking == [2, 4, 1]
+
+    def test_negative_scores_ok(self):
+        model = FixedScores([0.0, -5.0, -1.0, -3.0])
+        ranking = model.recommend([sample()], z=2)[0]
+        assert ranking == [2, 3]
+
+    def test_base_class_abstract_methods(self):
+        base = Recommender()
+        with pytest.raises(NotImplementedError):
+            base.fit(SequenceCorpus(num_items=2))
+        with pytest.raises(NotImplementedError):
+            base.score_samples([sample()])
+
+
+class TestPopularityEdgeCases:
+    def test_fit_on_minimal_corpus(self):
+        corpus = SequenceCorpus(num_items=3, sequences=[
+            UserSequence(user_id=0, baskets=((1,), (1,), (3,)))])
+        model = PopularityRecommender(3)
+        model.fit(corpus)
+        ranking = model.recommend([sample()], z=3)[0]
+        assert ranking[0] == 1   # most popular first
+
+    def test_unseen_items_rank_last(self):
+        corpus = SequenceCorpus(num_items=3, sequences=[
+            UserSequence(user_id=0, baskets=((1,), (1,), (3,)))])
+        model = PopularityRecommender(3)
+        model.fit(corpus)
+        scores = model.score_samples([sample()])[0]
+        assert scores[2] == 0.0
+        assert scores[1] > scores[3] > scores[2] or scores[1] > scores[2]

@@ -1,0 +1,117 @@
+"""Tests for attention modules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (AdditiveAttention, BilinearAttention,
+                      MultiHeadSelfAttention, Tensor, TransformerBlock)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestBilinearAttention:
+    def test_weights_sum_to_one(self, rng):
+        att = BilinearAttention(4, rng)
+        states = Tensor(rng.normal(size=(3, 6, 4)))
+        query = Tensor(rng.normal(size=(3, 4)))
+        weights = att(states, query).data
+        np.testing.assert_allclose(weights.sum(axis=-1), np.ones(3), rtol=1e-6)
+
+    def test_mask_respected(self, rng):
+        att = BilinearAttention(4, rng)
+        states = Tensor(rng.normal(size=(2, 5, 4)))
+        query = Tensor(rng.normal(size=(2, 4)))
+        mask = np.array([[True, True, False, False, False]] * 2)
+        weights = att(states, query, mask=mask).data
+        assert (weights[:, 2:] == 0).all()
+        np.testing.assert_allclose(weights.sum(axis=-1), np.ones(2), rtol=1e-6)
+
+    def test_identity_init_recency_bias(self, rng):
+        """With A≈I, a query equal to the last state favours similar states."""
+        att = BilinearAttention(4, rng, identity_init=True)
+        base = rng.normal(size=4)
+        states = np.stack([base + rng.normal(size=4) * 2, base]).reshape(1, 2, 4)
+        weights = att(Tensor(states), Tensor(base.reshape(1, 4))).data
+        assert weights[0, 1] > weights[0, 0]
+
+    def test_raw_scores_shape(self, rng):
+        att = BilinearAttention(4, rng)
+        scores = att.raw_scores(Tensor(rng.normal(size=(2, 3, 4))),
+                                Tensor(rng.normal(size=(2, 4))))
+        assert scores.shape == (2, 3)
+
+
+class TestAdditiveAttention:
+    def test_weights_normalized(self, rng):
+        att = AdditiveAttention(4, rng)
+        states = Tensor(rng.normal(size=(2, 5, 4)))
+        query = Tensor(rng.normal(size=(2, 4)))
+        weights = att(states, query).data
+        np.testing.assert_allclose(weights.sum(axis=-1), np.ones(2), rtol=1e-6)
+
+    def test_gradient_flows(self, rng):
+        att = AdditiveAttention(4, rng)
+        states = Tensor(rng.normal(size=(1, 3, 4)), requires_grad=True)
+        query = Tensor(rng.normal(size=(1, 4)))
+        att(states, query).sum().backward()
+        assert states.grad is not None
+
+
+class TestMultiHeadSelfAttention:
+    def test_dim_divisibility(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(7, 2, rng)
+
+    def test_output_shape(self, rng):
+        att = MultiHeadSelfAttention(8, 2, rng)
+        out = att(Tensor(rng.normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_causality(self, rng):
+        """Changing a future position must not change earlier outputs."""
+        att = MultiHeadSelfAttention(8, 2, rng)
+        x = rng.normal(size=(1, 4, 8))
+        out1 = att(Tensor(x), causal=True).data.copy()
+        x2 = x.copy()
+        x2[0, 3] += 100.0
+        out2 = att(Tensor(x2), causal=True).data
+        np.testing.assert_allclose(out1[0, :3], out2[0, :3], atol=1e-10)
+
+    def test_non_causal_sees_future(self, rng):
+        att = MultiHeadSelfAttention(8, 2, rng)
+        x = rng.normal(size=(1, 4, 8))
+        out1 = att(Tensor(x), causal=False).data.copy()
+        x2 = x.copy()
+        x2[0, 3] += 100.0
+        out2 = att(Tensor(x2), causal=False).data
+        assert not np.allclose(out1[0, 0], out2[0, 0])
+
+    def test_pad_mask_blocks_attention(self, rng):
+        att = MultiHeadSelfAttention(8, 1, rng)
+        x = rng.normal(size=(1, 4, 8))
+        pad = np.array([[True, True, True, False]])
+        out1 = att(Tensor(x), pad_mask=pad, causal=False).data.copy()
+        x2 = x.copy()
+        x2[0, 3] += 50.0
+        out2 = att(Tensor(x2), pad_mask=pad, causal=False).data
+        np.testing.assert_allclose(out1[0, :3], out2[0, :3], atol=1e-10)
+
+
+class TestTransformerBlock:
+    def test_shape_preserved(self, rng):
+        block = TransformerBlock(8, 2, rng)
+        out = block(Tensor(rng.normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_residual_path(self, rng):
+        """Zeroing attention/FFN weights leaves the input unchanged."""
+        block = TransformerBlock(8, 2, rng)
+        block.attn.w_o.weight.data[...] = 0.0
+        block.ffn2.weight.data[...] = 0.0
+        block.ffn2.bias.data[...] = 0.0
+        x = rng.normal(size=(1, 3, 8))
+        out = block(Tensor(x)).data
+        np.testing.assert_allclose(out, x, atol=1e-10)

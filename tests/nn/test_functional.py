@@ -1,0 +1,114 @@
+"""Tests for functional ops: softmax family, dropout, lookups."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, gradient_check
+from repro.nn import functional as F
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 6)))
+        out = F.softmax(x).data
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(4))
+        assert (out > 0).all()
+
+    def test_stability_with_large_values(self):
+        x = Tensor(np.array([[1000.0, 1001.0]]))
+        out = F.softmax(x).data
+        assert np.isfinite(out).all()
+        assert out[0, 1] > out[0, 0]
+
+    def test_gradient(self):
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 4)),
+                   requires_grad=True)
+        weights = Tensor(np.random.default_rng(2).normal(size=(2, 4)))
+        err = gradient_check(lambda a: (F.softmax(a) * weights).sum(), [x])
+        assert err < 1e-6
+
+    def test_matches_log_softmax(self):
+        x = Tensor(np.random.default_rng(3).normal(size=(3, 5)))
+        np.testing.assert_allclose(np.log(F.softmax(x).data),
+                                   F.log_softmax(x).data, atol=1e-10)
+
+
+class TestMaskedSoftmax:
+    def test_masked_positions_zero(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 4)))
+        mask = np.array([[True, True, False, False],
+                         [True, False, True, False]])
+        out = F.masked_softmax(x, mask).data
+        assert (out[~mask] == 0).all()
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(2), rtol=1e-6)
+
+    def test_all_masked_row_yields_zeros(self):
+        x = Tensor(np.zeros((1, 3)))
+        mask = np.zeros((1, 3), dtype=bool)
+        out = F.masked_softmax(x, mask).data
+        np.testing.assert_allclose(out, np.zeros((1, 3)))
+
+    def test_gradient_flows_through_unmasked(self):
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 4)),
+                   requires_grad=True)
+        mask = np.array([[True, True, True, False]] * 2)
+        F.masked_softmax(x, mask).sum().backward()
+        assert x.grad is not None
+
+    def test_broadcast_mask_middle_axis(self):
+        # The Causer uses (B, T, 1) scores against a (B, T, C) mask.
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 5, 1)))
+        mask = np.random.default_rng(3).random((2, 5, 3)) > 0.4
+        out = F.masked_softmax(x, mask, axis=1).data
+        sums = out.sum(axis=1)
+        valid_cols = mask.any(axis=1)
+        np.testing.assert_allclose(sums[valid_cols], 1.0, rtol=1e-6)
+
+
+class TestDropout:
+    def test_identity_at_eval(self):
+        x = Tensor(np.ones((10, 10)))
+        out = F.dropout(x, 0.5, training=False)
+        assert out is x
+
+    def test_zero_rate_identity(self):
+        x = Tensor(np.ones((4,)))
+        assert F.dropout(x, 0.0, training=True) is x
+
+    def test_scaling_preserves_mean(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.5, training=True, rng=rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.5, training=True)
+
+
+class TestLookups:
+    def test_embedding_lookup_gradient_scatter(self):
+        weight = Tensor(np.random.default_rng(0).normal(size=(5, 3)),
+                        requires_grad=True)
+        out = F.embedding_lookup(weight, np.array([1, 1, 4]))
+        out.sum().backward()
+        assert weight.grad[1, 0] == pytest.approx(2.0)
+        assert weight.grad[4, 0] == pytest.approx(1.0)
+        assert weight.grad[0, 0] == pytest.approx(0.0)
+
+    def test_multihot_lookup(self):
+        weight = Tensor(np.eye(3))
+        multihot = np.array([[1.0, 0.0, 1.0]])
+        out = F.multihot_lookup(weight, multihot)
+        np.testing.assert_allclose(out.data, [[1.0, 0.0, 1.0]])
+
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), depth=3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_linear_matches_manual(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 3)))
+        w = Tensor(np.random.default_rng(1).normal(size=(4, 3)))
+        b = Tensor(np.random.default_rng(2).normal(size=(4,)))
+        out = F.linear(x, w, b)
+        np.testing.assert_allclose(out.data, x.data @ w.data.T + b.data)

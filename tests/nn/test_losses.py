@@ -1,0 +1,104 @@
+"""Tests for loss functions against hand-computed references."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, gradient_check, losses
+
+
+class TestBCEWithLogits:
+    def test_matches_manual(self):
+        logits = Tensor(np.array([0.5, -1.0, 2.0]))
+        targets = np.array([1.0, 0.0, 1.0])
+        out = losses.bce_with_logits(logits, targets).item()
+        p = 1 / (1 + np.exp(-logits.data))
+        manual = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+        assert out == pytest.approx(manual, rel=1e-10)
+
+    def test_stable_at_extremes(self):
+        logits = Tensor(np.array([1000.0, -1000.0]))
+        out = losses.bce_with_logits(logits, np.array([1.0, 0.0])).item()
+        assert np.isfinite(out)
+        assert out == pytest.approx(0.0, abs=1e-8)
+
+    def test_mask_excludes_entries(self):
+        logits = Tensor(np.array([[1.0, 100.0]]))
+        targets = np.array([[1.0, 0.0]])
+        mask = np.array([[1.0, 0.0]])
+        masked = losses.bce_with_logits(logits, targets, mask=mask).item()
+        unmasked_single = losses.bce_with_logits(
+            Tensor(np.array([1.0])), np.array([1.0])).item()
+        assert masked == pytest.approx(unmasked_single, rel=1e-10)
+
+    def test_all_masked_returns_zero(self):
+        logits = Tensor(np.ones((2, 2)))
+        out = losses.bce_with_logits(logits, np.ones((2, 2)),
+                                     mask=np.zeros((2, 2)))
+        assert out.item() == pytest.approx(0.0)
+
+    def test_gradient(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(3, 2)),
+                        requires_grad=True)
+        targets = np.array([[1, 0], [0, 1], [1, 1]], dtype=float)
+        err = gradient_check(
+            lambda x: losses.bce_with_logits(x, targets), [logits])
+        assert err < 1e-6
+
+
+class TestBCEOnProbabilities:
+    def test_agrees_with_logit_version(self):
+        logits = np.array([0.3, -0.7, 1.2])
+        probs = Tensor(1 / (1 + np.exp(-logits)))
+        targets = np.array([1.0, 0.0, 1.0])
+        a = losses.bce_on_probabilities(probs, targets).item()
+        b = losses.bce_with_logits(Tensor(logits), targets).item()
+        assert a == pytest.approx(b, rel=1e-6)
+
+    def test_clipping_avoids_infinity(self):
+        probs = Tensor(np.array([0.0, 1.0]))
+        out = losses.bce_on_probabilities(probs, np.array([1.0, 0.0])).item()
+        assert np.isfinite(out)
+
+
+class TestBPRLoss:
+    def test_zero_when_pos_much_larger(self):
+        pos = Tensor(np.array([100.0]))
+        neg = Tensor(np.array([0.0]))
+        assert losses.bpr_loss(pos, neg).item() == pytest.approx(0.0, abs=1e-8)
+
+    def test_symmetric_point(self):
+        pos = Tensor(np.array([1.0]))
+        neg = Tensor(np.array([1.0]))
+        assert losses.bpr_loss(pos, neg).item() == pytest.approx(np.log(2.0))
+
+    def test_gradient_direction(self):
+        pos = Tensor(np.array([0.0]), requires_grad=True)
+        neg = Tensor(np.array([0.0]), requires_grad=True)
+        losses.bpr_loss(pos, neg).backward()
+        assert pos.grad[0] < 0  # increasing pos decreases loss
+        assert neg.grad[0] > 0
+
+
+class TestOthers:
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        out = losses.mse_loss(pred, np.array([0.0, 0.0])).item()
+        assert out == pytest.approx(2.5)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        out = losses.cross_entropy(logits, np.array([0, 1])).item()
+        assert out == pytest.approx(0.0, abs=1e-8)
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((1, 4)))
+        out = losses.cross_entropy(logits, np.array([2])).item()
+        assert out == pytest.approx(np.log(4.0))
+
+    def test_l1_penalty(self):
+        t = Tensor(np.array([[-1.0, 2.0], [0.0, -3.0]]))
+        assert losses.l1_penalty(t).item() == pytest.approx(6.0)
+
+    def test_l2_penalty(self):
+        t = Tensor(np.array([1.0, -2.0]))
+        assert losses.l2_penalty(t).item() == pytest.approx(5.0)

@@ -1,0 +1,110 @@
+"""Tests for GRU/LSTM cells and the masked recurrent layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRUCell, LSTMCell, RecurrentLayer, Tensor, gradient_check
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestCells:
+    def test_gru_step_shape(self, rng):
+        cell = GRUCell(4, 6, rng)
+        h = cell(Tensor(np.ones((2, 4))), cell.initial_state(2))
+        assert h.shape == (2, 6)
+
+    def test_lstm_step_shape(self, rng):
+        cell = LSTMCell(4, 6, rng)
+        h, c = cell(Tensor(np.ones((2, 4))), cell.initial_state(2))
+        assert h.shape == (2, 6)
+        assert c.shape == (2, 6)
+
+    def test_gru_gradient(self, rng):
+        cell = GRUCell(3, 4, rng)
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        err = gradient_check(
+            lambda a: (cell(a, cell.initial_state(2)) ** 2).sum(), [x])
+        assert err < 1e-5
+
+    def test_lstm_gradient(self, rng):
+        cell = LSTMCell(3, 4, rng)
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+
+        def run(a):
+            h, c = cell(a, cell.initial_state(2))
+            return (h * h).sum() + c.sum()
+
+        assert gradient_check(run, [x]) < 1e-5
+
+    def test_lstm_forget_bias_init(self, rng):
+        cell = LSTMCell(3, 4, rng)
+        np.testing.assert_allclose(cell.bias.data[4:8], np.ones(4))
+
+    def test_gru_state_bounded(self, rng):
+        cell = GRUCell(3, 4, rng)
+        h = cell.initial_state(1)
+        for _ in range(100):
+            h = cell(Tensor(np.full((1, 3), 10.0)), h)
+        assert np.all(np.abs(h.data) <= 1.0 + 1e-9)
+
+
+class TestRecurrentLayer:
+    def test_invalid_cell_type(self, rng):
+        with pytest.raises(ValueError):
+            RecurrentLayer("rnn", 3, 4, rng)
+
+    @pytest.mark.parametrize("cell_type", ["gru", "lstm"])
+    def test_output_shapes(self, rng, cell_type):
+        layer = RecurrentLayer(cell_type, 3, 5, rng)
+        states, last = layer(Tensor(rng.normal(size=(2, 7, 3))))
+        assert states.shape == (2, 7, 5)
+        assert last.shape == (2, 5)
+
+    @pytest.mark.parametrize("cell_type", ["gru", "lstm"])
+    def test_masked_steps_freeze_state(self, rng, cell_type):
+        layer = RecurrentLayer(cell_type, 3, 5, rng)
+        inputs = Tensor(rng.normal(size=(1, 4, 3)))
+        mask = np.array([[True, True, False, False]])
+        states, last = layer(inputs, step_mask=mask)
+        # State after masked steps equals state at the last valid step.
+        np.testing.assert_allclose(states.data[0, 1], states.data[0, 2])
+        np.testing.assert_allclose(states.data[0, 1], last.data[0])
+
+    def test_mask_equivalence_to_truncation(self, rng):
+        """Padding + mask must equal running on the shorter sequence."""
+        layer = RecurrentLayer("gru", 3, 5, rng)
+        seq = rng.normal(size=(1, 3, 3))
+        padded = np.concatenate([seq, np.zeros((1, 2, 3))], axis=1)
+        mask = np.array([[True] * 3 + [False] * 2])
+        _, last_masked = layer(Tensor(padded), step_mask=mask)
+        _, last_short = layer(Tensor(seq))
+        np.testing.assert_allclose(last_masked.data, last_short.data)
+
+    def test_initial_state_used(self, rng):
+        layer = RecurrentLayer("gru", 3, 5, rng)
+        inputs = Tensor(rng.normal(size=(2, 1, 3)))
+        init = Tensor(rng.normal(size=(2, 5)))
+        _, with_init = layer(inputs, initial_state=init)
+        _, without = layer(inputs)
+        assert not np.allclose(with_init.data, without.data)
+
+    def test_gradient_through_time(self, rng):
+        layer = RecurrentLayer("gru", 2, 3, rng)
+        x = Tensor(rng.normal(size=(1, 4, 2)), requires_grad=True)
+
+        def run(a):
+            states, last = layer(a)
+            return (states * states).sum() + last.sum()
+
+        assert gradient_check(run, [x]) < 1e-5
+
+    def test_all_masked_sequence_keeps_zero_state(self, rng):
+        layer = RecurrentLayer("gru", 2, 3, rng)
+        inputs = Tensor(rng.normal(size=(1, 3, 2)))
+        mask = np.zeros((1, 3), dtype=bool)
+        states, last = layer(inputs, step_mask=mask)
+        np.testing.assert_allclose(last.data, np.zeros((1, 3)))

@@ -1,0 +1,289 @@
+"""Unit tests for the autograd engine: every op is gradient-checked."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concat, gradient_check, maximum, stack, where
+
+
+def make(shape, seed=0, requires_grad=True):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape), requires_grad=requires_grad)
+
+
+class TestBasics:
+    def test_data_coerced_to_float64(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype == np.float64
+
+    def test_shape_properties(self):
+        t = make((2, 3))
+        assert t.shape == (2, 3)
+        assert t.ndim == 2
+        assert t.size == 6
+        assert len(t) == 2
+
+    def test_detach_cuts_graph(self):
+        t = make((2,))
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_backward_requires_grad(self):
+        t = Tensor([1.0], requires_grad=False)
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_backward_shape_mismatch(self):
+        t = make((2, 2))
+        out = t * 2
+        with pytest.raises(ValueError):
+            out.backward(np.ones(3))
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(make((1,)))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        a, b = make((3, 2), 1), make((3, 2), 2)
+        assert gradient_check(lambda x, y: (x + y).sum(), [a, b]) < 1e-6
+
+    def test_add_broadcast(self):
+        a, b = make((3, 2), 1), make((2,), 2)
+        assert gradient_check(lambda x, y: (x + y).sum(), [a, b]) < 1e-6
+
+    def test_sub(self):
+        a, b = make((2, 2), 1), make((2, 2), 2)
+        assert gradient_check(lambda x, y: (x - y).sum(), [a, b]) < 1e-6
+
+    def test_mul_broadcast(self):
+        a, b = make((4, 3), 1), make((1, 3), 2)
+        assert gradient_check(lambda x, y: (x * y).sum(), [a, b]) < 1e-6
+
+    def test_div(self):
+        a = make((3,), 1)
+        b = Tensor(np.abs(np.random.default_rng(2).normal(size=(3,))) + 1.0,
+                   requires_grad=True)
+        assert gradient_check(lambda x, y: (x / y).sum(), [a, b]) < 1e-6
+
+    def test_rsub_rdiv_radd(self):
+        a = Tensor([2.0, 4.0], requires_grad=True)
+        out = (1.0 - a) + (8.0 / a) + (3.0 + a)
+        out.sum().backward()
+        # d/da [-a + 8/a + a] = -8/a^2
+        np.testing.assert_allclose(a.grad, -8.0 / a.data ** 2)
+
+    def test_pow(self):
+        a = Tensor([1.5, 2.5], requires_grad=True)
+        assert gradient_check(lambda x: (x ** 3).sum(), [a]) < 1e-6
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            make((2,)) ** make((2,))
+
+    def test_neg(self):
+        a = make((2, 2))
+        assert gradient_check(lambda x: (-x).sum(), [a]) < 1e-6
+
+    def test_scalar_mul_grad(self):
+        a = make((3,))
+        (a * 5.0).sum().backward()
+        np.testing.assert_allclose(a.grad, 5.0 * np.ones(3))
+
+
+class TestMatmulGradients:
+    def test_2d_2d(self):
+        a, b = make((3, 4), 1), make((4, 2), 2)
+        assert gradient_check(lambda x, y: (x @ y).sum(), [a, b]) < 1e-6
+
+    def test_batched_3d_2d(self):
+        a, b = make((2, 3, 4), 1), make((4, 5), 2)
+        assert gradient_check(lambda x, y: (x @ y).sum(), [a, b]) < 1e-6
+
+    def test_batched_3d_3d(self):
+        a, b = make((2, 3, 4), 1), make((2, 4, 5), 2)
+        assert gradient_check(lambda x, y: (x @ y).sum(), [a, b]) < 1e-6
+
+    def test_vector_matrix(self):
+        a, b = make((4,), 1), make((4, 3), 2)
+        assert gradient_check(lambda x, y: (x @ y).sum(), [a, b]) < 1e-6
+
+    def test_matrix_vector(self):
+        a, b = make((3, 4), 1), make((4,), 2)
+        assert gradient_check(lambda x, y: (x @ y).sum(), [a, b]) < 1e-6
+
+    def test_forward_value(self):
+        a, b = make((2, 3), 1), make((3, 2), 2)
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data)
+
+
+class TestShapeOps:
+    def test_transpose_default(self):
+        a = make((2, 3))
+        assert gradient_check(lambda x: (x.T * x.T).sum(), [a]) < 1e-6
+
+    def test_transpose_axes(self):
+        a = make((2, 3, 4))
+        out = a.transpose(0, 2, 1)
+        assert out.shape == (2, 4, 3)
+        assert gradient_check(
+            lambda x: (x.transpose(0, 2, 1) ** 2).sum(), [a]) < 1e-6
+
+    def test_reshape(self):
+        a = make((2, 6))
+        assert a.reshape(3, 4).shape == (3, 4)
+        assert a.reshape((4, 3)).shape == (4, 3)
+        assert gradient_check(lambda x: (x.reshape(3, 4) ** 2).sum(), [a]) < 1e-6
+
+    def test_getitem_slice(self):
+        a = make((4, 3))
+        assert gradient_check(lambda x: (x[1:3] ** 2).sum(), [a]) < 1e-6
+
+    def test_getitem_fancy_accumulates(self):
+        a = make((5, 2))
+        idx = np.array([0, 0, 3])
+        out = a[idx].sum()
+        out.backward()
+        assert a.grad[0, 0] == pytest.approx(2.0)  # row 0 picked twice
+        assert a.grad[3, 0] == pytest.approx(1.0)
+        assert a.grad[1, 0] == pytest.approx(0.0)
+
+
+class TestReductions:
+    def test_sum_all(self):
+        a = make((3, 4))
+        assert gradient_check(lambda x: (x.sum() * 2), [a]) < 1e-6
+
+    def test_sum_axis(self):
+        a = make((3, 4))
+        assert gradient_check(lambda x: (x.sum(axis=0) ** 2).sum(), [a]) < 1e-6
+
+    def test_sum_keepdims(self):
+        a = make((3, 4))
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+        assert gradient_check(
+            lambda x: (x.sum(axis=1, keepdims=True) ** 2).sum(), [a]) < 1e-6
+
+    def test_mean(self):
+        a = make((2, 5))
+        (a.mean()).backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 5), 0.1))
+
+    def test_mean_axis(self):
+        a = make((2, 5))
+        assert gradient_check(lambda x: (x.mean(axis=1) ** 2).sum(), [a]) < 1e-6
+
+    def test_max_axis(self):
+        a = Tensor([[1.0, 5.0], [7.0, 2.0]], requires_grad=True)
+        out = a.max(axis=1)
+        np.testing.assert_allclose(out.data, [5.0, 7.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [[0, 1], [1, 0]])
+
+    def test_max_all_gradient_split_on_ties(self):
+        a = Tensor([3.0, 3.0], requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.5, 0.5])
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("op", ["exp", "tanh", "sigmoid", "relu", "abs"])
+    def test_gradients(self, op):
+        a = make((3, 3), seed=hash(op) % 100)
+        assert gradient_check(lambda x: getattr(x, op)().sum(), [a]) < 1e-5
+
+    def test_log_sqrt_on_positive(self):
+        a = Tensor(np.abs(np.random.default_rng(0).normal(size=(4,))) + 0.5,
+                   requires_grad=True)
+        assert gradient_check(lambda x: x.log().sum(), [a]) < 1e-6
+        assert gradient_check(lambda x: x.sqrt().sum(), [a]) < 1e-6
+
+    def test_sigmoid_extreme_values_stable(self):
+        a = Tensor([-1000.0, 1000.0])
+        out = a.sigmoid().data
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_clip(self):
+        a = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        out = a.clip(-1.0, 1.0)
+        np.testing.assert_allclose(out.data, [-1.0, 0.5, 1.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestCombinators:
+    def test_concat_gradients(self):
+        a, b = make((2, 3), 1), make((2, 2), 2)
+        assert gradient_check(
+            lambda x, y: (concat([x, y], axis=1) ** 2).sum(), [a, b]) < 1e-6
+
+    def test_concat_forward(self):
+        a, b = make((2, 3), 1), make((2, 2), 2)
+        out = concat([a, b], axis=-1)
+        assert out.shape == (2, 5)
+
+    def test_stack(self):
+        a, b = make((3,), 1), make((3,), 2)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        assert gradient_check(
+            lambda x, y: (stack([x, y], axis=1) ** 2).sum(), [a, b]) < 1e-6
+
+    def test_where(self):
+        a, b = make((4,), 1), make((4,), 2)
+        cond = np.array([True, False, True, False])
+        out = where(cond, a, b)
+        np.testing.assert_allclose(out.data, np.where(cond, a.data, b.data))
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, cond.astype(float))
+        np.testing.assert_allclose(b.grad, (~cond).astype(float))
+
+    def test_maximum(self):
+        a = Tensor([1.0, 5.0], requires_grad=True)
+        b = Tensor([2.0, 3.0], requires_grad=True)
+        out = maximum(a, b)
+        np.testing.assert_allclose(out.data, [2.0, 5.0])
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulates_on_reuse(self):
+        a = make((2,))
+        out = (a * a).sum() + a.sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data + 1.0)
+
+    def test_diamond_graph(self):
+        a = make((3,))
+        b = a * 2
+        out = (b + b * b).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, 2 + 8 * a.data)
+
+    def test_zero_grad(self):
+        a = make((2,))
+        (a * 2).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_no_grad_through_constants(self):
+        a = make((2,))
+        c = Tensor([1.0, 2.0])
+        ((a * c).sum()).backward()
+        assert c.grad is None
+
+    def test_deep_chain(self):
+        a = make((2,))
+        out = a
+        for _ in range(50):
+            out = out * 1.01
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.full(2, 1.01 ** 50), rtol=1e-10)

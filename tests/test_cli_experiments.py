@@ -1,0 +1,26 @@
+"""CLI end-to-end coverage for the heavier experiment subcommands.
+
+All runs use --quick at a tiny scale, so each takes seconds.
+"""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.parametrize("command,needle", [
+    (["table4", "--scale", "0.02", "--quick", "--datasets", "baby"],
+     "Table IV"),
+    (["table5", "--scale", "0.02", "--quick", "--datasets", "baby",
+      "--cells", "gru"], "Table V"),
+    (["fig4", "--scale", "0.02", "--quick", "--datasets", "baby",
+      "--cells", "gru"], "Figure 4"),
+    (["fig6", "--scale", "0.02", "--quick", "--datasets", "baby",
+      "--cells", "gru"], "Figure 6"),
+    (["fig7", "--scale", "0.02", "--quick", "--cells", "gru"], "Figure 7"),
+    (["fig8", "--scale", "0.02", "--quick"], "Figure 8"),
+    (["efficiency", "--scale", "0.02", "--quick"], "efficiency"),
+])
+def test_cli_experiment_commands(capsys, command, needle):
+    assert main(command) == 0
+    assert needle in capsys.readouterr().out

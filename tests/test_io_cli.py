@@ -1,0 +1,100 @@
+"""Tests for model persistence and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import Causer, CauserConfig
+from repro.io import load_model, save_model
+from repro.models import GRU4Rec, PopularityRecommender, TrainConfig, VTRNN
+
+
+@pytest.fixture(scope="module")
+def trained_causer(tiny_dataset, tiny_split):
+    config = CauserConfig(embedding_dim=8, hidden_dim=8, num_epochs=2,
+                          batch_size=64, num_clusters=4, epsilon=0.2,
+                          eta=0.5, seed=0)
+    model = Causer(tiny_dataset.corpus.num_users, tiny_dataset.num_items,
+                   tiny_dataset.features, config)
+    model.fit(tiny_split.train)
+    return model
+
+
+class TestSaveLoad:
+    def test_causer_roundtrip(self, trained_causer, tiny_split, tmp_path):
+        path = tmp_path / "causer.npz"
+        save_model(trained_causer, path)
+        restored = load_model(path)
+        original_scores = trained_causer.score_samples(tiny_split.test[:4])
+        restored_scores = restored.score_samples(tiny_split.test[:4])
+        np.testing.assert_allclose(original_scores, restored_scores,
+                                   atol=1e-10)
+
+    def test_config_restored(self, trained_causer, tmp_path):
+        path = tmp_path / "causer.npz"
+        save_model(trained_causer, path)
+        restored = load_model(path)
+        assert restored.config.num_clusters == trained_causer.config.num_clusters
+        assert restored.config.epsilon == trained_causer.config.epsilon
+
+    def test_baseline_roundtrip(self, tiny_dataset, tiny_split, tmp_path):
+        cfg = TrainConfig(embedding_dim=8, hidden_dim=8, num_epochs=1,
+                          batch_size=64, seed=0)
+        model = GRU4Rec(tiny_dataset.corpus.num_users, tiny_dataset.num_items,
+                        cfg)
+        model.fit(tiny_split.train)
+        path = tmp_path / "gru.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        np.testing.assert_allclose(model.score_samples(tiny_split.test[:3]),
+                                   restored.score_samples(tiny_split.test[:3]),
+                                   atol=1e-10)
+
+    def test_feature_model_roundtrip(self, tiny_dataset, tiny_split,
+                                     tmp_path):
+        cfg = TrainConfig(embedding_dim=8, hidden_dim=8, num_epochs=1,
+                          batch_size=64, seed=0)
+        model = VTRNN(tiny_dataset.corpus.num_users, tiny_dataset.num_items,
+                      tiny_dataset.features, cfg)
+        model.fit(tiny_split.train)
+        path = tmp_path / "vtrnn.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        np.testing.assert_allclose(model.score_samples(tiny_split.test[:2]),
+                                   restored.score_samples(tiny_split.test[:2]),
+                                   atol=1e-10)
+
+    def test_unsupported_model(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_model(PopularityRecommender(5), tmp_path / "pop.npz")
+
+
+class TestCLI:
+    def test_parser_accepts_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["table2", "--scale", "0.02"])
+        assert args.experiment == "table2"
+        assert args.scale == 0.02
+
+    def test_parser_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_table2_end_to_end(self, capsys):
+        code = main(["table2", "--scale", "0.02", "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "epinions" in out
+
+    def test_fig3_end_to_end(self, capsys):
+        code = main(["fig3", "--scale", "0.02", "--quick"])
+        assert code == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_fig5_restricted_sweep(self, capsys):
+        code = main(["fig5", "--scale", "0.02", "--quick",
+                     "--datasets", "baby", "--cells", "gru"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baby/gru" in out
