@@ -25,11 +25,15 @@ Subpackages
     evaluation protocol.
 ``repro.exp``
     One reproduction function per paper table/figure plus grid search.
+``repro.analysis``
+    Correctness tooling: the gradlint static-analysis suite
+    (``python -m repro.analysis``) and the opt-in runtime gradient
+    sanitizer (``detect_anomaly``).
 """
 
 __version__ = "1.0.0"
 
-from . import causal, core, data, eval, exp, models, nn
+from . import analysis, causal, core, data, eval, exp, models, nn
 
 __all__ = ["nn", "causal", "data", "models", "core", "eval", "exp",
-           "__version__"]
+           "analysis", "__version__"]

@@ -1,0 +1,32 @@
+"""`repro.analysis` — correctness tooling for the autograd substrate.
+
+Two halves (see ``docs/ANALYSIS.md``):
+
+**gradlint** — an AST-based static lint suite with autograd-specific rules
+(missing ``_unbroadcast`` in backward closures, graph-bypassing numpy math
+on ``Tensor.data``, unsanctioned in-place mutation, legacy ``np.random``
+global-state calls, swallowed exceptions, ``__all__`` drift).  Run it as
+``python -m repro.analysis src``; suppress individual findings with
+``# gradlint: disable=RULE — justification``.
+
+**gradient sanitizer** — an opt-in runtime anomaly mode à la
+``torch.autograd.set_detect_anomaly`` that attributes NaN/Inf forward
+values and gradients to the op that created the offending node and
+enforces the gradient shape contract.  Enable with
+:func:`detect_anomaly` / :func:`set_detect_anomaly`, or pass
+``--detect-anomaly`` to the training CLI.
+"""
+
+from .engine import LintEngine, discover_files, lint_paths
+from .report import Finding, Report
+from .rules import all_rules
+from .sanitizer import (GradientAnomalyError, GradientSanitizer,
+                        anomaly_mode_enabled, detect_anomaly,
+                        set_detect_anomaly)
+
+__all__ = [
+    "LintEngine", "lint_paths", "discover_files",
+    "Finding", "Report", "all_rules",
+    "GradientSanitizer", "GradientAnomalyError",
+    "detect_anomaly", "set_detect_anomaly", "anomaly_mode_enabled",
+]

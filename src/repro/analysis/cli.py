@@ -1,0 +1,74 @@
+"""Command-line interface for the analysis subsystem.
+
+Usage::
+
+    python -m repro.analysis src                 # lint, human output
+    python -m repro.analysis src examples        # several roots
+    python -m repro.analysis src --format json   # machine-readable
+    python -m repro.analysis --list-rules        # rule catalogue
+    python -m repro.analysis src --select GL004  # only some rules
+    python -m repro.analysis src --ignore GL006
+
+Exit status: 0 when no unsuppressed finding remains, 1 otherwise — wire it
+as a blocking CI step next to the test suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import List, Optional
+
+from .engine import LintEngine
+from .rules import all_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="gradlint — autograd-aware static analysis for the "
+                    "repro codebase.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format")
+    parser.add_argument("--select", nargs="+", metavar="RULE", default=None,
+                        help="run only these rule ids (e.g. GL001 GL004)")
+    parser.add_argument("--ignore", nargs="+", metavar="RULE", default=None,
+                        help="skip these rule ids")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def format_rule_catalogue() -> str:
+    lines = ["gradlint rule catalogue", ""]
+    for rule in all_rules():
+        lines.append(f"  {rule.id}  {rule.name:<22} [{rule.severity}]")
+        lines.append(f"         {rule.description}")
+    lines.append("")
+    lines.append("Suppress one line:  # gradlint: disable=GL002 — why it is safe")
+    lines.append("Suppress a file:    # gradlint: disable-file=GL006 — why")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(format_rule_catalogue())
+        return 0
+    engine = LintEngine(select=args.select, ignore=args.ignore)
+    if not engine.rules:
+        print("gradlint: no rules selected")
+        return 2
+    missing = [path for path in args.paths if not os.path.exists(path)]
+    if missing:
+        # A typo'd path must not read as a clean CI run.
+        print("gradlint: no such file or directory: " + ", ".join(missing))
+        return 2
+    report = engine.run_paths(args.paths)
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return report.exit_code

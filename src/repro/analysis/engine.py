@@ -1,0 +1,172 @@
+"""The gradlint engine: file discovery, single-pass AST dispatch, suppression.
+
+Suppression syntax (checked against the *reported line* of a finding)::
+
+    risky_call()  # gradlint: disable=GL002 — detached shift cancels in grad
+    other_call()  # gradlint: disable=GL002,GL004
+    anything()    # gradlint: disable
+
+a preceding-line variant for statements too long to carry a trailing
+comment::
+
+    # gradlint: disable-next=GL002 — detached shift cancels in grad
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+
+and, anywhere in a file, a file-scoped variant::
+
+    # gradlint: disable-file=GL006 — generated module
+
+A bare ``disable`` (no ``=``) suppresses every rule on that line; the
+``disable-file`` form without ids suppresses the whole file.  Text after
+the rule ids (a justification) is encouraged and ignored by the parser.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .report import Finding, Report
+from .rules import LintContext, Rule, all_rules
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*gradlint:\s*(disable(?:-file|-next)?)\s*"
+    r"(?:=\s*([A-Za-z0-9_,\s]+?))?\s*(?:[—#-]|$)")
+
+#: Sentinel meaning "every rule" in a suppression set.
+_ALL = "*"
+
+
+def _next_code_line(lines: Sequence[str], lineno: int) -> int:
+    """First line after ``lineno`` that is not blank or comment-only.
+
+    Lets a ``disable-next`` justification span several comment lines before
+    the statement it suppresses.
+    """
+    for offset, line in enumerate(lines[lineno:], start=lineno + 1):
+        stripped = line.strip()
+        if stripped and not stripped.startswith("#"):
+            return offset
+    return lineno + 1
+
+
+def _parse_suppressions(lines: Sequence[str]) -> Tuple[Set[str], Dict[int, Set[str]]]:
+    """Extract (file-level ids, per-line ids) from ``# gradlint:`` comments."""
+    file_level: Set[str] = set()
+    per_line: Dict[int, Set[str]] = defaultdict(set)
+    for lineno, line in enumerate(lines, start=1):
+        if "gradlint" not in line:
+            continue
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        directive, ids_text = match.group(1), match.group(2)
+        ids = ({_ALL} if not ids_text else
+               {part.strip().upper() for part in ids_text.split(",")
+                if part.strip()})
+        if directive == "disable-file":
+            file_level |= ids
+        elif directive == "disable-next":
+            per_line[_next_code_line(lines, lineno)] |= ids
+        else:
+            per_line[lineno] |= ids
+    return file_level, dict(per_line)
+
+
+def _is_suppressed(finding: Finding, file_level: Set[str],
+                   per_line: Dict[int, Set[str]]) -> bool:
+    if _ALL in file_level or finding.rule_id in file_level:
+        return True
+    ids = per_line.get(finding.line)
+    return bool(ids) and (_ALL in ids or finding.rule_id in ids)
+
+
+def discover_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            found.append(path)
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(d for d in dirs
+                             if not d.startswith(".") and d != "__pycache__")
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    found.append(os.path.join(root, name))
+    return sorted(set(found))
+
+
+class LintEngine:
+    """Runs a set of rules over source files with one AST walk per file."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None,
+                 select: Optional[Iterable[str]] = None,
+                 ignore: Optional[Iterable[str]] = None) -> None:
+        rules = list(rules) if rules is not None else all_rules()
+        if select is not None:
+            wanted = {r.upper() for r in select}
+            rules = [r for r in rules if r.id in wanted]
+        if ignore is not None:
+            dropped = {r.upper() for r in ignore}
+            rules = [r for r in rules if r.id not in dropped]
+        self.rules: List[Rule] = rules
+
+    # ------------------------------------------------------------------
+    def run_paths(self, paths: Iterable[str]) -> Report:
+        report = Report()
+        for path in discover_files(paths):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+            except OSError as exc:
+                report.findings.append(Finding(
+                    path=path, line=1, col=1, rule_id="GL000",
+                    severity="error", message=f"cannot read file: {exc}"))
+                continue
+            report.files_checked += 1
+            findings, suppressed = self.run_source(source, path)
+            report.extend(findings)
+            report.suppressed += suppressed
+        return report
+
+    def run_source(self, source: str, path: str = "<string>"
+                   ) -> Tuple[List[Finding], int]:
+        """Lint one source blob; returns (active findings, suppressed count)."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [Finding(path=path, line=exc.lineno or 1,
+                            col=(exc.offset or 0) + 1, rule_id="GL000",
+                            severity="error",
+                            message=f"syntax error: {exc.msg}")], 0
+
+        ctx = LintContext(path=path, tree=tree, source=source)
+        active_rules = [rule for rule in self.rules if rule.applies_to(ctx)]
+        if not active_rules:
+            return [], 0
+
+        raw: List[Finding] = []
+        for rule in active_rules:
+            raw.extend(rule.check_module(ctx))
+        dispatch: Dict[type, List[Rule]] = defaultdict(list)
+        for rule in active_rules:
+            for node_type in rule.node_types:
+                dispatch[node_type].append(rule)
+        if dispatch:
+            for node in ast.walk(tree):
+                for rule in dispatch.get(type(node), ()):
+                    raw.extend(rule.check_node(node, ctx))
+
+        file_level, per_line = _parse_suppressions(ctx.lines)
+        findings = [f for f in raw
+                    if not _is_suppressed(f, file_level, per_line)]
+        return findings, len(raw) - len(findings)
+
+
+def lint_paths(paths: Iterable[str], **engine_kwargs) -> Report:
+    """One-call façade: lint ``paths`` with the default rule set."""
+    return LintEngine(**engine_kwargs).run_paths(paths)

@@ -1,0 +1,87 @@
+"""Finding/report types shared by the gradlint engine and its CLI.
+
+A :class:`Finding` is one diagnostic anchored to a file location; a
+:class:`Report` aggregates the findings of a lint run together with the
+bookkeeping the CLI needs (files checked, suppression counts) and renders
+either human-readable text or machine-readable JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic emitted by a lint rule."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule_id} [{self.severity}] {self.message}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Report:
+    """Aggregated outcome of linting a set of files."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    def extend(self, findings: Sequence[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def count(self, severity: str) -> int:
+        return sum(1 for f in self.findings if f.severity == severity)
+
+    @property
+    def exit_code(self) -> int:
+        """Non-zero whenever any unsuppressed finding remains.
+
+        Both severities gate: the suite is meant to run as a blocking CI
+        step, and a warning that is knowingly acceptable should carry an
+        inline ``# gradlint: disable=<RULE>`` with a justification instead
+        of being waved through globally.
+        """
+        return 1 if self.findings else 0
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in sorted(self.findings)]
+        errors, warnings = self.count("error"), self.count("warning")
+        summary = (f"gradlint: {self.files_checked} file(s) checked, "
+                   f"{errors} error(s), {warnings} warning(s), "
+                   f"{self.suppressed} suppressed")
+        if not self.findings:
+            return summary + " — clean"
+        return "\n".join(lines + ["", summary])
+
+    def render_json(self) -> str:
+        payload = {
+            "files_checked": self.files_checked,
+            "errors": self.count("error"),
+            "warnings": self.count("warning"),
+            "suppressed": self.suppressed,
+            "findings": [f.to_dict() for f in sorted(self.findings)],
+        }
+        return json.dumps(payload, indent=2)

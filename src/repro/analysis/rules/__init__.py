@@ -1,0 +1,33 @@
+"""Rule registry for the gradlint engine.
+
+Rules are instantiated once and shared across files; they hold no per-file
+state (everything flows through :class:`~repro.analysis.rules.base.LintContext`).
+"""
+
+from .autograd import (GRAPH_LAYER_SUFFIXES, SANCTIONED_MUTATION_SUFFIXES,
+                       GraphBypassRule, InPlaceMutationRule,
+                       MissingUnbroadcastRule)
+from .base import LintContext, Rule, attribute_chain, contains_data_attribute
+from .hygiene import (SANCTIONED_NP_RANDOM_CALLS, AllDriftRule,
+                      LegacyNumpyRandomRule, SwallowedExceptionRule)
+
+
+def all_rules():
+    """Fresh instances of every registered rule, ordered by id."""
+    return [
+        MissingUnbroadcastRule(),
+        GraphBypassRule(),
+        InPlaceMutationRule(),
+        LegacyNumpyRandomRule(),
+        SwallowedExceptionRule(),
+        AllDriftRule(),
+    ]
+
+
+__all__ = [
+    "Rule", "LintContext", "attribute_chain", "contains_data_attribute",
+    "MissingUnbroadcastRule", "GraphBypassRule", "InPlaceMutationRule",
+    "LegacyNumpyRandomRule", "SwallowedExceptionRule", "AllDriftRule",
+    "GRAPH_LAYER_SUFFIXES", "SANCTIONED_MUTATION_SUFFIXES",
+    "SANCTIONED_NP_RANDOM_CALLS", "all_rules",
+]

@@ -1,0 +1,90 @@
+"""Rule protocol and lint context for the gradlint engine.
+
+A rule declares which AST node types it wants (``node_types``) and yields
+:class:`~repro.analysis.report.Finding` objects from :meth:`check_node`;
+rules that need a whole-module view (e.g. ``__all__`` consistency) override
+:meth:`check_module` instead.  The engine walks each file's AST exactly
+once and dispatches nodes to every interested rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from ..report import Finding
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may inspect about the file being linted."""
+
+    path: str
+    tree: ast.Module
+    source: str
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    @property
+    def posix_path(self) -> str:
+        return self.path.replace("\\", "/")
+
+    def path_endswith(self, *suffixes: str) -> bool:
+        return any(self.posix_path.endswith(suffix) for suffix in suffixes)
+
+
+class Rule:
+    """Base class for gradlint rules.
+
+    Subclasses set the class attributes and implement ``check_node`` and/or
+    ``check_module``.  ``applies_to`` lets a rule scope itself to specific
+    files (e.g. autograd-layer modules only).
+    """
+
+    id: str = "GL000"
+    name: str = "unnamed"
+    severity: str = "error"
+    description: str = ""
+    #: AST node classes routed to ``check_node``; empty means module-only.
+    node_types: Tuple[type, ...] = ()
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return True
+
+    def check_node(self, node: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_module(self, ctx: LintContext) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(self, ctx: LintContext, node: ast.AST, message: str) -> Finding:
+        return Finding(path=ctx.path, line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       rule_id=self.id, severity=self.severity,
+                       message=message)
+
+
+def attribute_chain(node: ast.AST) -> str:
+    """Dotted name of an attribute chain (``np.random.seed``), or ``""``.
+
+    Anything that is not a pure ``Name``/``Attribute`` chain (calls,
+    subscripts) terminates the walk and yields an empty string.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def contains_data_attribute(node: ast.AST) -> bool:
+    """True when any ``<expr>.data`` access appears in the subtree."""
+    return any(isinstance(sub, ast.Attribute) and sub.attr == "data"
+               for sub in ast.walk(node))

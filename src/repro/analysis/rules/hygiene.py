@@ -1,0 +1,171 @@
+"""Reproducibility/hygiene lint rules (GL004–GL006).
+
+* GL004 — legacy ``np.random.*`` module-level calls draw from hidden global
+  state, which breaks the repo-wide determinism contract (every RNG must be
+  an explicitly seeded ``np.random.Generator``).
+* GL005 — bare/swallowed exceptions hide the very failures (non-finite
+  losses, shape errors) this subsystem exists to surface.
+* GL006 — ``__all__`` drift in package ``__init__`` files: names exported
+  but never bound, or re-exported names missing from ``__all__``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from ..report import Finding
+from .base import LintContext, Rule, attribute_chain
+
+#: The only `np.random` attributes that may be *called* — everything else
+#: (seed, rand, randn, RandomState, ...) goes through hidden global state.
+SANCTIONED_NP_RANDOM_CALLS = frozenset({"default_rng", "SeedSequence"})
+
+
+class LegacyNumpyRandomRule(Rule):
+    """GL004 — module-level ``np.random.*`` call instead of a Generator."""
+
+    id = "GL004"
+    name = "legacy-np-random"
+    severity = "error"
+    description = ("np.random.* module-level call uses hidden global state; "
+                   "use an explicitly seeded np.random.default_rng(seed)")
+    node_types = (ast.Call,)
+
+    def check_node(self, node: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        chain = attribute_chain(node.func)
+        if not chain:
+            return
+        parts = chain.split(".")
+        if (len(parts) == 3 and parts[0] in ("np", "numpy")
+                and parts[1] == "random"
+                and parts[2] not in SANCTIONED_NP_RANDOM_CALLS):
+            yield self.finding(
+                ctx, node,
+                f"`{chain}(...)` draws from numpy's hidden global state; "
+                f"pass a seeded `np.random.default_rng(seed)` Generator "
+                f"instead")
+
+
+class SwallowedExceptionRule(Rule):
+    """GL005 — bare ``except:`` or a broad handler whose body is ``pass``."""
+
+    id = "GL005"
+    name = "swallowed-exception"
+    severity = "error"
+    description = ("bare except / broad exception handler that silently "
+                   "swallows the error")
+    node_types = (ast.ExceptHandler,)
+
+    _BROAD = ("Exception", "BaseException")
+
+    def check_node(self, node: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.ExceptHandler)
+        if node.type is None:
+            yield self.finding(
+                ctx, node,
+                "bare `except:` catches SystemExit/KeyboardInterrupt too; "
+                "name the exception type")
+            return
+        if self._is_broad(node.type) and self._body_is_noop(node.body):
+            yield self.finding(
+                ctx, node,
+                "broad exception handler swallows the error without "
+                "handling or re-raising it")
+
+    def _is_broad(self, type_node: ast.AST) -> bool:
+        if isinstance(type_node, ast.Name):
+            return type_node.id in self._BROAD
+        if isinstance(type_node, ast.Tuple):
+            return any(self._is_broad(el) for el in type_node.elts)
+        return False
+
+    @staticmethod
+    def _body_is_noop(body: List[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue  # docstring or `...`
+            return False
+        return True
+
+
+class AllDriftRule(Rule):
+    """GL006 — ``__all__`` out of sync with a package ``__init__``'s bindings.
+
+    Errors for names listed in ``__all__`` but never bound (they break
+    ``from pkg import *`` and mislead readers); warnings for public names
+    re-exported via ``from .module import name`` but absent from
+    ``__all__`` (silent API drift).
+    """
+
+    id = "GL006"
+    name = "all-drift"
+    severity = "error"
+    description = "__all__ entries not bound in the module, or re-exports missing from __all__"
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.path_endswith("__init__.py")
+
+    def check_module(self, ctx: LintContext) -> Iterator[Finding]:
+        exported = None
+        exported_node: ast.AST = ctx.tree
+        bound: Set[str] = set()
+        reexported: Set[str] = set()
+        star_import = False
+
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        star_import = True
+                        continue
+                    name = alias.asname or alias.name
+                    bound.add(name)
+                    reexported.add(name)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                bound.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        bound.add(target.id)
+                        if target.id == "__all__":
+                            exported = self._literal_names(stmt.value)
+                            exported_node = stmt
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target,
+                                                                ast.Name):
+                bound.add(stmt.target.id)
+
+        if exported is None or star_import:
+            return  # no __all__ to validate, or bindings unknowable
+
+        for name in exported:
+            if name not in bound:
+                yield self.finding(
+                    ctx, exported_node,
+                    f"`{name}` is listed in __all__ but never imported or "
+                    f"defined in this module")
+        listed = set(exported)
+        for name in sorted(reexported):
+            if not name.startswith("_") and name not in listed:
+                yield Finding(path=ctx.path,
+                              line=getattr(exported_node, "lineno", 1), col=1,
+                              rule_id=self.id, severity="warning",
+                              message=(f"`{name}` is re-exported here but "
+                                       f"missing from __all__ (silent API "
+                                       f"drift)"))
+
+    @staticmethod
+    def _literal_names(value: ast.AST) -> List[str]:
+        names: List[str] = []
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for el in value.elts:
+                if isinstance(el, ast.Constant) and isinstance(el.value, str):
+                    names.append(el.value)
+        return names

@@ -47,6 +47,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cells", nargs="+", default=None,
                         choices=["gru", "lstm"],
                         help="restrict sequential backbones")
+    parser.add_argument("--detect-anomaly", action="store_true",
+                        help="run with the autograd anomaly sanitizer: "
+                             "NaN/Inf forward values and gradients abort "
+                             "with the creating op and its traceback "
+                             "(see repro.analysis)")
     return parser
 
 
@@ -60,6 +65,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.cells:
         sweep_kwargs["cells"] = tuple(args.cells)
 
+    if args.detect_anomaly:
+        from .analysis import detect_anomaly
+        with detect_anomaly():
+            return _dispatch(args, settings, sweep_kwargs)
+    return _dispatch(args, settings, sweep_kwargs)
+
+
+def _dispatch(args: argparse.Namespace, settings: "BenchmarkSettings",
+              sweep_kwargs: dict) -> int:
     if args.experiment == "table2":
         print(table2_statistics(settings).render())
     elif args.experiment == "fig3":

@@ -357,6 +357,42 @@ class Causer(NeuralSequentialRecommender):
         penalty = penalty + self.beta1 * h + (0.5 * self.beta2) * h * h
         return loss + scale * penalty
 
+    def _check_finite_loss(self, loss_value: float, epoch: int,
+                           batch_index: int) -> None:
+        """Fail fast on a non-finite loss, naming the offending iterate.
+
+        The augmented-Lagrangian loop otherwise *stalls silently*: a NaN
+        loss produces NaN gradients, the optimizer writes NaN into every
+        parameter, and all later epochs train nothing while h(W) reports
+        garbage.
+        """
+        if np.isfinite(loss_value):
+            return
+        bad = self.non_finite_parameters()
+        detail = ""
+        if bad:
+            names = ", ".join(f"{name}.{field}" for name, field in bad[:8])
+            detail = f"; non-finite parameter state: {names}"
+        raise RuntimeError(
+            f"{self.name}: training loss became non-finite ({loss_value!r}) "
+            f"at epoch {epoch + 1}, batch {batch_index + 1} of Algorithm 1"
+            f"{detail}. Re-run under repro.analysis.detect_anomaly() (or the "
+            f"CLI's --detect-anomaly) to attribute the NaN/Inf to the "
+            f"creating op.")
+
+    def _check_finite_h(self, h_value: float, epoch: int) -> None:
+        """Fail fast when the acyclicity penalty h(W) leaves the reals."""
+        if np.isfinite(h_value):
+            return
+        w_max = float(np.abs(self.graph.weights.data).max())
+        raise RuntimeError(
+            f"{self.name}: acyclicity penalty h(W) became non-finite "
+            f"({h_value!r}) after epoch {epoch + 1} "
+            f"(max |W^c| = {w_max:.3g}, beta1 = {self.beta1:.3g}, "
+            f"beta2 = {self.beta2:.3g}). The matrix exponential in h "
+            f"overflows when W^c grows unchecked — lower the learning rate "
+            f"or raise lambda_l1.")
+
     def _seed_graph(self, samples: Sequence[EvalSample]) -> None:
         """Seed ``W^c`` from transition lift, calibrated to the ε gate.
 
@@ -373,6 +409,8 @@ class Causer(NeuralSequentialRecommender):
         peak = (assignments @ seed @ assignments.T).max()
         if peak > 1e-6:
             seed = seed * (0.6 / peak)
+        # gradlint: disable-next=GL003 — pre-training seed write: no forward
+        # pass has run yet, so no backward closure can hold a stale reference.
         self.graph.weights.data[...] = seed
 
     def fit_samples(self, samples: Sequence[EvalSample]) -> FitResult:
@@ -405,14 +443,17 @@ class Causer(NeuralSequentialRecommender):
         for epoch in range(cfg.num_epochs):
             update_causal = (epoch % cfg.update_every) == 0
             total, count = 0.0, 0
-            for batch in iterate_batches(samples, cfg.batch_size, self.rng,
-                                         max_history=cfg.max_history):
+            for batch_index, batch in enumerate(
+                    iterate_batches(samples, cfg.batch_size, self.rng,
+                                    max_history=cfg.max_history)):
                 sample_negatives(batch, self.num_items, cfg.num_negatives,
                                  self.rng)
                 opt_rec.zero_grad()
                 opt_causal.zero_grad()
                 loss = self.training_loss(
                     batch, include_causal_penalties=update_causal)
+                loss_value = loss.item()
+                self._check_finite_loss(loss_value, epoch, batch_index)
                 loss.backward()
                 opt_rec.clip_grad_norm(cfg.grad_clip)
                 opt_rec.step()
@@ -420,10 +461,11 @@ class Causer(NeuralSequentialRecommender):
                     opt_causal.clip_grad_norm(cfg.grad_clip)
                     opt_causal.step()
                 self._after_step()
-                total += loss.item()
+                total += loss_value
                 count += 1
             # Algorithm 1 lines 14–15: multiplier and penalty updates.
             h_new = self._graph_module_for_penalties.acyclicity_value()
+            self._check_finite_h(h_new, epoch)
             self.beta1 += self.beta2 * h_new
             stalled = (np.isfinite(self._h_previous)
                        and abs(h_new) >= cfg.kappa2 * abs(self._h_previous))

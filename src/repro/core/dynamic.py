@@ -146,6 +146,8 @@ class DynamicCauser(Causer):
         if cfg.pretrain_graph and cfg.use_causal:
             self._seed_graph(samples)  # calibrates the base graph
             for graph in self.dynamic_graph.segments:
+                # gradlint: disable-next=GL003 — pre-training seed copy into
+                # the per-segment graphs; happens before any graph is built.
                 graph.weights.data[...] = self.graph.weights.data
         return super().fit_samples(samples)
 

@@ -16,6 +16,8 @@ from .tensor import Tensor
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
+    # gradlint: disable-next=GL002 — the max shift is deliberately detached:
+    # softmax is shift-invariant, so the constant's gradient cancels exactly.
     shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
     exp = shifted.exp()
     return exp / exp.sum(axis=axis, keepdims=True)
@@ -23,6 +25,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
+    # gradlint: disable-next=GL002 — detached max shift; cancels in the gradient.
     shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
@@ -37,6 +40,7 @@ def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
     mask = np.asarray(mask, dtype=bool)
     neg_inf = np.where(mask, 0.0, -1e30)
     shifted = x + Tensor(neg_inf)
+    # gradlint: disable-next=GL002 — detached max shift; cancels in the gradient.
     shifted = shifted - Tensor(shifted.data.max(axis=axis, keepdims=True))
     exp = shifted.exp() * Tensor(mask.astype(np.float64))
     denom = exp.sum(axis=axis, keepdims=True) + 1e-12

@@ -103,6 +103,21 @@ class Module:
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())
 
+    def non_finite_parameters(self) -> List[Tuple[str, str]]:
+        """``(name, field)`` pairs whose data or gradient contains NaN/Inf.
+
+        ``field`` is ``"data"`` or ``"grad"``.  Used by the training guards
+        (and the anomaly sanitizer's error messages) to name exactly which
+        parameters went bad instead of reporting a bare non-finite loss.
+        """
+        bad: List[Tuple[str, str]] = []
+        for name, param in self.named_parameters():
+            if not np.all(np.isfinite(param.data)):
+                bad.append((name, "data"))
+            if param.grad is not None and not np.all(np.isfinite(param.grad)):
+                bad.append((name, "grad"))
+        return bad
+
     # -- state dict -------------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:
         return {name: param.data.copy() for name, param in self.named_parameters()}

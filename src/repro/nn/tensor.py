@@ -26,6 +26,34 @@ import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
+# ----------------------------------------------------------------------
+# Graph observer hook points (anomaly detection)
+# ----------------------------------------------------------------------
+# The optional observer receives callbacks at the engine's choke points:
+# node creation, gradient accumulation and the backward walk.  It exists so
+# `repro.analysis.sanitizer` can implement torch-style detect-anomaly mode
+# without the engine importing (or paying for) any of it: with no observer
+# installed every hook is a single `is None` check.
+_OBSERVER = None
+
+
+def set_graph_observer(observer):
+    """Install ``observer`` (or ``None`` to disable); returns the previous one.
+
+    The observer must provide ``on_create(out, parents)``,
+    ``on_backward_start(root, topo)``, ``on_node_backward(node)``,
+    ``on_backward_end(root)`` and ``on_accumulate(tensor, grad)``.
+    """
+    global _OBSERVER
+    previous = _OBSERVER
+    _OBSERVER = observer
+    return previous
+
+
+def graph_observer():
+    """The currently installed graph observer, or ``None``."""
+    return _OBSERVER
+
 
 def _as_array(value: ArrayLike) -> np.ndarray:
     """Coerce ``value`` to a float64 numpy array without copying needlessly."""
@@ -67,7 +95,8 @@ class Tensor:
         Whether gradients should be accumulated into this tensor.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "name", "_op_meta")
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False,
                  name: Optional[str] = None) -> None:
@@ -77,6 +106,8 @@ class Tensor:
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
         self.name = name
+        # (op name, creation traceback) — populated only in anomaly mode.
+        self._op_meta: Optional[Tuple[str, str]] = None
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -130,9 +161,13 @@ class Tensor:
         if requires:
             out._parents = parents
             out._backward = backward
+        if _OBSERVER is not None:
+            _OBSERVER.on_create(out, parents)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
+        if _OBSERVER is not None:
+            _OBSERVER.on_accumulate(self, grad)
         if self.grad is None:
             self.grad = grad.copy()
         else:
@@ -166,10 +201,19 @@ class Tensor:
                 if id(parent) not in visited:
                     stack.append((parent, False))
 
+        observer = _OBSERVER
+        if observer is not None:
+            observer.on_backward_start(self, topo)
         self._accumulate(seed)
-        for node in reversed(topo):
-            if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+        try:
+            for node in reversed(topo):
+                if node._backward is not None and node.grad is not None:
+                    if observer is not None:
+                        observer.on_node_backward(node)
+                    node._backward(node.grad)
+        finally:
+            if observer is not None:
+                observer.on_backward_end(self)
 
     # ------------------------------------------------------------------
     # Elementwise arithmetic

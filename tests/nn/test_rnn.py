@@ -108,3 +108,70 @@ class TestRecurrentLayer:
         mask = np.zeros((1, 3), dtype=bool)
         states, last = layer(inputs, step_mask=mask)
         np.testing.assert_allclose(last.data, np.zeros((1, 3)))
+
+
+class TestLSTMGradients:
+    """Finite-difference checks for the LSTM paths the suite used to skip.
+
+    The cell's input gradient was already covered; these add the
+    parameter-side gradients and the full time-unrolled RecurrentLayer,
+    including the masked-step (state-freezing) and user-seeded
+    initial-state paths Causer exercises.
+    """
+
+    def test_lstm_cell_parameter_gradients(self, rng):
+        cell = LSTMCell(3, 4, rng)
+        x = Tensor(rng.normal(size=(2, 3)))
+        params = [cell.w_ih, cell.w_hh, cell.bias]
+
+        def run(*_params):
+            h, c = cell(x, cell.initial_state(2))
+            return (h * h).sum() + (c * c).sum()
+
+        assert gradient_check(run, params) < 1e-5
+
+    def test_lstm_layer_gradient_through_time(self, rng):
+        layer = RecurrentLayer("lstm", 2, 3, rng)
+        x = Tensor(rng.normal(size=(1, 4, 2)), requires_grad=True)
+
+        def run(a):
+            states, last = layer(a)
+            return (states * states).sum() + last.sum()
+
+        assert gradient_check(run, [x]) < 1e-5
+
+    @pytest.mark.parametrize("cell_type", ["gru", "lstm"])
+    def test_masked_layer_input_gradient(self, rng, cell_type):
+        layer = RecurrentLayer(cell_type, 2, 3, rng)
+        x = Tensor(rng.normal(size=(2, 4, 2)), requires_grad=True)
+        mask = np.array([[True, True, False, True],
+                         [True, False, False, False]])
+
+        def run(a):
+            states, last = layer(a, step_mask=mask)
+            return (states * states).sum() + (last * last).sum()
+
+        assert gradient_check(run, [x]) < 1e-5
+
+    def test_lstm_layer_initial_state_gradient(self, rng):
+        layer = RecurrentLayer("lstm", 2, 3, rng)
+        x = Tensor(rng.normal(size=(2, 3, 2)))
+        init = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+
+        def run(h0):
+            states, last = layer(x, initial_state=h0)
+            return (states * states).sum() + last.sum()
+
+        assert gradient_check(run, [init]) < 1e-5
+
+    def test_lstm_layer_parameter_gradients(self, rng):
+        layer = RecurrentLayer("lstm", 2, 3, rng)
+        x = Tensor(rng.normal(size=(1, 3, 2)))
+        mask = np.array([[True, False, True]])
+        params = [layer.cell.w_ih, layer.cell.w_hh, layer.cell.bias]
+
+        def run(*_params):
+            states, last = layer(x, step_mask=mask)
+            return (states * states).sum() + last.sum()
+
+        assert gradient_check(run, params) < 1e-5
