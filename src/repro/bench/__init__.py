@@ -1,0 +1,23 @@
+"""`repro.bench` — wall-clock regression benchmarks for the engine.
+
+A measured-performance layer: :mod:`.harness` times seeded workloads and
+writes schema-v1 JSON (``BENCH_<name>.json``), :mod:`.suites` defines the
+engine hot-path suite, :mod:`.compare` implements baseline comparison with
+a configurable regression threshold, and :mod:`.cli` exposes it all as
+``python -m repro.bench``.
+"""
+
+from .compare import (BenchComparison, ComparisonReport, compare_documents,
+                      merged_document)
+from .harness import (SCHEMA, BenchResult, document, environment, load_json,
+                      peak_rss_kb, time_workload, validate_document,
+                      write_json)
+from .suites import SUITES, run_suite
+
+__all__ = [
+    "SCHEMA", "BenchResult", "document", "environment", "load_json",
+    "peak_rss_kb", "time_workload", "validate_document", "write_json",
+    "BenchComparison", "ComparisonReport", "compare_documents",
+    "merged_document",
+    "SUITES", "run_suite",
+]

@@ -1,0 +1,132 @@
+"""``python -m repro.bench`` — run/compare engine benchmarks.
+
+Subcommands::
+
+    python -m repro.bench list
+    python -m repro.bench run [--suite engine] [--quick] [--out X.json]
+                              [--baseline OLD.json] [--threshold 0.25]
+                              [--bench NAME ...] [--repeats N] [--warmup N]
+    python -m repro.bench compare CURRENT.json BASELINE.json
+                              [--threshold 0.25]
+
+Exit codes: 0 success, 1 regression past the threshold, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import compare as compare_mod
+from . import harness, suites
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_ERROR = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Wall-clock benchmark harness for the repro engine.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available suites and benches")
+
+    run = sub.add_parser("run", help="run a suite and optionally write JSON")
+    run.add_argument("--suite", default="engine",
+                     choices=sorted(suites.SUITES))
+    run.add_argument("--quick", action="store_true",
+                     help="smaller workloads, at most 2 repeats (CI smoke)")
+    run.add_argument("--out", default=None,
+                     help="write the schema-v1 JSON document here")
+    run.add_argument("--bench", nargs="+", default=None,
+                     help="restrict to specific benches")
+    run.add_argument("--repeats", type=int, default=None)
+    run.add_argument("--warmup", type=int, default=1)
+    run.add_argument("--baseline", default=None,
+                     help="baseline JSON to compare against; with --out the "
+                          "written document embeds it plus speedup ratios")
+    run.add_argument("--threshold", type=float, default=0.25,
+                     help="regression threshold on mean wall time (0.25 = "
+                          "fail when 25%% slower than baseline)")
+
+    cmp_cmd = sub.add_parser("compare", help="compare two result documents")
+    cmp_cmd.add_argument("current")
+    cmp_cmd.add_argument("baseline")
+    cmp_cmd.add_argument("--threshold", type=float, default=0.25)
+    return parser
+
+
+def _cmd_list() -> int:
+    for suite_name, spec in sorted(suites.SUITES.items()):
+        print(f"suite {suite_name}:")
+        for bench_name, (_, repeats, meta) in spec.items():
+            extras = ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+            print(f"  {bench_name:<22} repeats={repeats}  {extras}")
+    return EXIT_OK
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        results = suites.run_suite(args.suite, quick=args.quick,
+                                   warmup=args.warmup, repeats=args.repeats,
+                                   only=args.bench)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    doc = harness.document(args.suite, results, quick=args.quick)
+    for result in results:
+        print(f"{result.name:<24} mean={result.mean_s * 1e3:8.1f}ms  "
+              f"min={result.min_s * 1e3:8.1f}ms  (n={result.repeats}, "
+              f"warmup={result.warmup})")
+
+    exit_code = EXIT_OK
+    if args.baseline is not None:
+        try:
+            baseline = harness.load_json(args.baseline)
+            report = compare_mod.compare_documents(doc, baseline,
+                                                   threshold=args.threshold)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        print(report.render())
+        if report.has_regressions:
+            exit_code = EXIT_REGRESSION
+        doc = compare_mod.merged_document(doc, baseline,
+                                          threshold=args.threshold)
+    if args.out is not None:
+        try:
+            harness.write_json(doc, args.out)
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        print(f"wrote {args.out}")
+    return exit_code
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    try:
+        current = harness.load_json(args.current)
+        baseline = harness.load_json(args.baseline)
+        report = compare_mod.compare_documents(current, baseline,
+                                               threshold=args.threshold)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    print(report.render())
+    return EXIT_REGRESSION if report.has_regressions else EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_compare(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Baseline comparison with a configurable regression threshold.
+
+Given two schema-v1 documents (see :mod:`repro.bench.harness`), compares
+per-bench mean wall time.  A bench regresses when
+
+    current_mean > baseline_mean * (1 + threshold)
+
+and speeds up when ``current_mean < baseline_mean / (1 + threshold)``.
+Benches present on only one side are reported but never fail the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .harness import SCHEMA, validate_document
+
+
+@dataclass
+class BenchComparison:
+    """Comparison outcome for a single named bench."""
+
+    name: str
+    baseline_s: Optional[float]
+    current_s: Optional[float]
+    threshold: float
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """baseline/current — > 1 means the current code is faster."""
+        if not self.baseline_s or not self.current_s:
+            return None
+        return self.baseline_s / self.current_s
+
+    @property
+    def status(self) -> str:
+        if self.baseline_s is None:
+            return "new"
+        if self.current_s is None:
+            return "missing"
+        if self.current_s > self.baseline_s * (1.0 + self.threshold):
+            return "regression"
+        if self.current_s < self.baseline_s / (1.0 + self.threshold):
+            return "improvement"
+        return "ok"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "baseline_s": self.baseline_s,
+            "current_s": self.current_s,
+            "speedup": self.speedup,
+            "status": self.status,
+        }
+
+
+@dataclass
+class ComparisonReport:
+    """All per-bench comparisons for one (current, baseline) pair."""
+
+    entries: List[BenchComparison]
+    threshold: float
+
+    @property
+    def regressions(self) -> List[BenchComparison]:
+        return [e for e in self.entries if e.status == "regression"]
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions)
+
+    def speedups(self) -> Dict[str, float]:
+        return {e.name: e.speedup for e in self.entries
+                if e.speedup is not None}
+
+    def render(self) -> str:
+        lines = [f"{'bench':<24} {'baseline':>12} {'current':>12} "
+                 f"{'speedup':>8}  status"]
+        for entry in self.entries:
+            base = ("-" if entry.baseline_s is None
+                    else f"{entry.baseline_s * 1e3:.1f}ms")
+            cur = ("-" if entry.current_s is None
+                   else f"{entry.current_s * 1e3:.1f}ms")
+            speed = ("-" if entry.speedup is None
+                     else f"{entry.speedup:.2f}x")
+            lines.append(f"{entry.name:<24} {base:>12} {cur:>12} "
+                         f"{speed:>8}  {entry.status}")
+        lines.append(f"(regression threshold: +{self.threshold:.0%} mean wall "
+                     f"time)")
+        return "\n".join(lines)
+
+
+def _bench_means(doc: Dict[str, object]) -> Dict[str, float]:
+    return {name: float(entry["mean_s"])
+            for name, entry in doc.get("benches", {}).items()}
+
+
+def compare_documents(current: Dict[str, object], baseline: Dict[str, object],
+                      threshold: float = 0.25) -> ComparisonReport:
+    """Compare two benchmark documents; raises on schema violations."""
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    for label, doc in (("current", current), ("baseline", baseline)):
+        problems = validate_document(doc)
+        if problems:
+            raise ValueError(
+                f"{label} document is not valid {SCHEMA}: "
+                + "; ".join(problems))
+    current_means = _bench_means(current)
+    baseline_means = _bench_means(baseline)
+    names = sorted(set(current_means) | set(baseline_means))
+    entries = [BenchComparison(name=name,
+                               baseline_s=baseline_means.get(name),
+                               current_s=current_means.get(name),
+                               threshold=threshold)
+               for name in names]
+    return ComparisonReport(entries=entries, threshold=threshold)
+
+
+def merged_document(current: Dict[str, object], baseline: Dict[str, object],
+                    threshold: float = 0.25) -> Dict[str, object]:
+    """Current document with the baseline and per-bench speedups embedded.
+
+    This is the shape of the checked-in ``BENCH_engine.json``: the current
+    run under ``benches``, the pre-optimization run under ``baseline`` and
+    the baseline/current wall-time ratio under ``speedup``.
+    """
+    report = compare_documents(current, baseline, threshold=threshold)
+    merged = dict(current)
+    merged["baseline"] = {
+        "env": baseline.get("env", {}),
+        "benches": baseline.get("benches", {}),
+    }
+    merged["speedup"] = report.speedups()
+    merged["threshold"] = threshold
+    return merged

@@ -1,0 +1,162 @@
+"""Wall-clock/RSS benchmarking harness with JSON output.
+
+The harness times zero-argument workloads with warmup iterations and
+repeated measurement, records the process peak RSS, and serializes results
+to a stable JSON schema (``repro.bench/v1``) so runs can be compared across
+commits.  :func:`validate_document` checks that schema; :mod:`repro.bench.compare`
+implements the baseline comparison with a configurable regression threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+#: Schema identifier embedded in every benchmark document.
+SCHEMA = "repro.bench/v1"
+
+#: Keys every per-bench entry must carry (see :func:`validate_document`).
+REQUIRED_BENCH_KEYS = ("mean_s", "std_s", "min_s", "wall_s", "repeats",
+                       "warmup", "rss_peak_kb", "meta")
+
+
+@dataclass
+class BenchResult:
+    """Timing sample for one named workload."""
+
+    name: str
+    wall_s: List[float]
+    rss_peak_kb: int
+    warmup: int
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def repeats(self) -> int:
+        return len(self.wall_s)
+
+    @property
+    def mean_s(self) -> float:
+        return float(np.mean(self.wall_s))
+
+    @property
+    def std_s(self) -> float:
+        return float(np.std(self.wall_s))
+
+    @property
+    def min_s(self) -> float:
+        return float(np.min(self.wall_s))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mean_s": self.mean_s,
+            "std_s": self.std_s,
+            "min_s": self.min_s,
+            "wall_s": [float(w) for w in self.wall_s],
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "rss_peak_kb": self.rss_peak_kb,
+            "meta": dict(self.meta),
+        }
+
+
+def peak_rss_kb() -> int:
+    """Process peak resident-set size in KiB (monotonic over the process)."""
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS, KiB on Linux
+        usage //= 1024
+    return int(usage)
+
+
+def time_workload(name: str, make_workload: Callable[[], Callable[[], object]],
+                  warmup: int = 1, repeats: int = 5,
+                  meta: Optional[Dict[str, object]] = None) -> BenchResult:
+    """Build a workload via ``make_workload()`` and time ``repeats`` runs.
+
+    ``make_workload`` performs all setup (model construction, data
+    generation) outside the timed region and returns the zero-argument
+    callable to measure.  ``warmup`` untimed calls run first so one-time
+    costs (allocator growth, numpy warm paths) do not pollute the samples.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    workload = make_workload()
+    for _ in range(warmup):
+        workload()
+    walls: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        workload()
+        walls.append(time.perf_counter() - start)
+    return BenchResult(name=name, wall_s=walls, rss_peak_kb=peak_rss_kb(),
+                       warmup=warmup, meta=dict(meta or {}))
+
+
+def environment() -> Dict[str, str]:
+    """Interpreter/library versions recorded alongside every run."""
+    return {
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+    }
+
+
+def document(suite: str, results: List[BenchResult],
+             quick: bool = False) -> Dict[str, object]:
+    """Assemble the schema-v1 JSON document for a suite run."""
+    return {
+        "schema": SCHEMA,
+        "suite": suite,
+        "quick": bool(quick),
+        "env": environment(),
+        "benches": {result.name: result.to_dict() for result in results},
+    }
+
+
+def write_json(doc: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_json(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def validate_document(doc: object) -> List[str]:
+    """Return a list of schema problems (empty when the document is valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
+    if not isinstance(doc.get("suite"), str):
+        problems.append("missing/invalid 'suite' (string)")
+    if not isinstance(doc.get("env"), dict):
+        problems.append("missing/invalid 'env' (object)")
+    benches = doc.get("benches")
+    if not isinstance(benches, dict) or not benches:
+        problems.append("missing/empty 'benches' (object)")
+        return problems
+    for name, entry in benches.items():
+        if not isinstance(entry, dict):
+            problems.append(f"bench {name!r} is not an object")
+            continue
+        for key in REQUIRED_BENCH_KEYS:
+            if key not in entry:
+                problems.append(f"bench {name!r} is missing {key!r}")
+        wall = entry.get("wall_s")
+        if not isinstance(wall, list) or not wall:
+            problems.append(f"bench {name!r} has no wall_s samples")
+        elif any((not isinstance(w, (int, float))) or w < 0 for w in wall):
+            problems.append(f"bench {name!r} has non-numeric/negative wall_s")
+    return problems

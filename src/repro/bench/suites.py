@@ -1,0 +1,228 @@
+"""Benchmark suite definitions over the engine's hot paths.
+
+The ``engine`` suite covers the loops Algorithm 1 spends its time in:
+
+* ``train_epoch_gru`` — the headline microbench: a full training epoch of a
+  GRU sequence recommender (seq_len=50, batch=64, d=64) through embedding
+  gather, RNN unroll, candidate scoring, BCE, backward and Adam;
+* ``train_epoch_lstm`` — the same epoch with the LSTM backbone;
+* ``backward_engine`` — a long elementwise op chain isolating per-node
+  autograd overhead (topo sort + closure dispatch);
+* ``embedding_scatter`` — embedding gather + scatter-add gradient;
+* ``eval_topk`` — full-catalog scoring, top-K extraction and ranking
+  metrics over a synthetic catalog;
+* ``dag_constraint`` — repeated ``h(W)`` value/gradient evaluations as the
+  augmented-Lagrangian inner loop performs them.
+
+Workload factories do all setup un-timed and fix every seed so a run
+measures exactly the same computation on every commit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..causal.dag_constraint import h_tensor, h_value
+from ..data.batching import PaddedBatch, sample_negatives
+from ..data.interactions import EvalSample
+from ..eval.evaluator import evaluate_model
+from ..models.base import Recommender, TrainConfig
+from ..models.gru4rec import GRU4Rec
+from ..nn import RecurrentLayer, Tensor, losses, make_optimizer
+from .harness import BenchResult, time_workload
+
+#: (factory, default_repeats, meta) per bench name; factory(quick) -> workload.
+BenchFactory = Callable[[bool], Callable[[], object]]
+
+
+def _synthetic_batch(rng: np.random.Generator, batch: int, seq_len: int,
+                     num_items: int, num_negatives: int) -> PaddedBatch:
+    """A dense single-item-per-basket batch with sampled negatives."""
+    items = rng.integers(1, num_items + 1, size=(batch, seq_len, 1))
+    padded = PaddedBatch(
+        users=rng.integers(0, batch, size=batch),
+        items=items,
+        basket_mask=np.ones((batch, seq_len, 1), dtype=np.float64),
+        step_mask=np.ones((batch, seq_len), dtype=bool),
+        positives=rng.integers(1, num_items + 1, size=(batch, 1)),
+        positive_mask=np.ones((batch, 1), dtype=np.float64))
+    sample_negatives(padded, num_items, num_negatives, rng)
+    return padded
+
+
+def make_train_epoch(cell_type: str, quick: bool) -> Callable[[], object]:
+    """One optimization epoch at the acceptance shape (T=50, B=64, d=64)."""
+    batch, seq_len, dim, num_items = 64, 50, 64, 512
+    num_batches = 1 if quick else 3
+    rng = np.random.default_rng(7)
+    cfg = TrainConfig(embedding_dim=dim, hidden_dim=dim, num_epochs=1,
+                      batch_size=batch, num_negatives=4, seed=0)
+    model = GRU4Rec(num_users=batch, num_items=num_items, config=cfg)
+    if cell_type == "lstm":
+        model.rnn = RecurrentLayer("lstm", dim, dim, model.rng)
+    batches = [_synthetic_batch(rng, batch, seq_len, num_items,
+                                cfg.num_negatives)
+               for _ in range(num_batches)]
+    optimizer = make_optimizer("adam", model.parameters(), lr=1e-3)
+    model.train()
+
+    def workload() -> float:
+        total = 0.0
+        for padded in batches:
+            optimizer.zero_grad()
+            loss = model.training_loss(padded)
+            loss.backward()
+            optimizer.clip_grad_norm(cfg.grad_clip)
+            optimizer.step()
+            model._after_step()
+            total += loss.item()
+        return total
+
+    return workload
+
+
+def make_backward_engine(quick: bool) -> Callable[[], object]:
+    """A deep elementwise chain: per-node engine overhead dominates."""
+    depth = 60 if quick else 150
+    rng = np.random.default_rng(3)
+    base = rng.normal(size=(64, 64))
+
+    def workload() -> float:
+        x = Tensor(base, requires_grad=True)
+        y = x
+        for i in range(depth):
+            y = (y * 0.999 + 0.001).tanh() if i % 3 == 0 else y * 1.0001 + x
+        out = (y * y).sum()
+        out.backward()
+        return out.item()
+
+    return workload
+
+
+def make_embedding_scatter(quick: bool) -> Callable[[], object]:
+    """Embedding gather forward + scatter-add gradient backward."""
+    lookups = 4 if quick else 10
+    rng = np.random.default_rng(5)
+    vocab, dim = 4096, 64
+    table = Tensor(rng.normal(size=(vocab, dim)) * 0.05, requires_grad=True)
+    indices = rng.integers(0, vocab, size=(64, 50))
+    weights = Tensor(rng.normal(size=(64, 50, dim)))
+
+    def workload() -> float:
+        total = 0.0
+        for _ in range(lookups):
+            table.zero_grad()
+            out = (table[indices] * weights).sum()
+            out.backward()
+            total += out.item()
+        return total
+
+    return workload
+
+
+class _FixedScoreRecommender(Recommender):
+    """Evaluation-path fixture: precomputed full-catalog scores."""
+
+    name = "fixed"
+
+    def __init__(self, scores: np.ndarray) -> None:
+        self._scores = scores
+
+    def score_samples(self, samples) -> np.ndarray:
+        return self._scores[:len(samples)].copy()
+
+    def fit(self, corpus):  # pragma: no cover - not used by the bench
+        raise NotImplementedError
+
+
+def make_eval_topk(quick: bool) -> Callable[[], object]:
+    """Full-catalog top-K extraction + HR/NDCG metrics for a sample batch."""
+    users = 128 if quick else 512
+    num_items = 2000
+    rng = np.random.default_rng(11)
+    scores = rng.normal(size=(users, num_items + 1))
+    samples = [EvalSample(user_id=u,
+                          history=((int(rng.integers(1, num_items + 1)),),),
+                          target=tuple(int(t) for t in
+                                       rng.integers(1, num_items + 1, size=3)))
+               for u in range(users)]
+    model = _FixedScoreRecommender(scores)
+
+    def workload() -> float:
+        result = evaluate_model(model, samples, z=10)
+        return result.mean("ndcg")
+
+    return workload
+
+
+def make_dag_constraint(quick: bool) -> Callable[[], object]:
+    """h(W) value + gradient as the augmented-Lagrangian loop evaluates it.
+
+    Alternates graph-building (``h_tensor`` + backward) with value-only
+    reads of the *same* weights — the pattern Algorithm 1 produces on
+    frozen-causal epochs, where the cached series pays off.
+    """
+    inner_steps = 8 if quick else 24
+    rng = np.random.default_rng(13)
+    weights = rng.uniform(0.0, 0.4, size=(48, 48))
+    np.fill_diagonal(weights, 0.0)
+
+    def workload() -> float:
+        total = 0.0
+        tensor = Tensor(weights, requires_grad=True)
+        node = h_tensor(tensor)
+        node.backward()
+        total += node.item()
+        for _ in range(inner_steps):
+            total += h_value(weights)
+        return total
+
+    return workload
+
+
+#: name -> (factory, repeats, meta).  Meta records the workload shape so the
+#: JSON is self-describing.
+ENGINE_SUITE: Dict[str, Tuple[BenchFactory, int, Dict[str, object]]] = {
+    "train_epoch_gru": (
+        lambda quick: make_train_epoch("gru", quick), 3,
+        {"seq_len": 50, "batch": 64, "dim": 64, "cell": "gru",
+         "headline": True}),
+    "train_epoch_lstm": (
+        lambda quick: make_train_epoch("lstm", quick), 3,
+        {"seq_len": 50, "batch": 64, "dim": 64, "cell": "lstm"}),
+    "backward_engine": (make_backward_engine, 5, {"kind": "op-chain"}),
+    "embedding_scatter": (make_embedding_scatter, 5,
+                          {"vocab": 4096, "dim": 64}),
+    "eval_topk": (make_eval_topk, 3, {"num_items": 2000, "z": 10}),
+    "dag_constraint": (make_dag_constraint, 5, {"nodes": 48}),
+}
+
+SUITES: Dict[str, Dict[str, Tuple[BenchFactory, int, Dict[str, object]]]] = {
+    "engine": ENGINE_SUITE,
+}
+
+
+def run_suite(suite: str = "engine", quick: bool = False,
+              warmup: int = 1, repeats: Optional[int] = None,
+              only: Optional[List[str]] = None) -> List[BenchResult]:
+    """Execute a suite and return one :class:`BenchResult` per bench."""
+    if suite not in SUITES:
+        raise KeyError(f"unknown suite {suite!r}; available: {sorted(SUITES)}")
+    spec = SUITES[suite]
+    names = list(spec) if only is None else list(only)
+    unknown = [n for n in names if n not in spec]
+    if unknown:
+        raise KeyError(f"unknown bench(es) {unknown} in suite {suite!r}")
+    results: List[BenchResult] = []
+    for name in names:
+        factory, default_repeats, meta = spec[name]
+        bench_repeats = repeats if repeats is not None else default_repeats
+        if quick:
+            bench_repeats = min(bench_repeats, 2)
+        results.append(time_workload(
+            name, lambda factory=factory: factory(quick),
+            warmup=warmup, repeats=bench_repeats,
+            meta={**meta, "quick": quick}))
+    return results

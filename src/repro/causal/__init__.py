@@ -7,7 +7,8 @@ with augmented-Lagrangian optimization, d-separation, Markov-equivalence
 used to verify Theorem 1 empirically.
 """
 
-from .dag_constraint import h_tensor, h_value, h_value_and_grad, polynomial_h_value
+from .dag_constraint import (clear_expm_cache, expm_cache_info, h_tensor,
+                             h_value, h_value_and_grad, polynomial_h_value)
 from .dsep import d_connected, d_separated, non_descendant_set
 from .graph import (ancestors, binarize, children, cpdag, descendants,
                     edge_list, from_networkx, is_dag, markov_equivalent,
@@ -29,6 +30,7 @@ from .sem import (random_dag, random_dag_scale_free, simulate_linear_sem,
 
 __all__ = [
     "h_value", "h_value_and_grad", "h_tensor", "polynomial_h_value",
+    "clear_expm_cache", "expm_cache_info",
     "d_separated", "d_connected", "non_descendant_set",
     "validate_adjacency", "binarize", "is_dag", "to_networkx",
     "from_networkx", "topological_order", "parents", "children",

@@ -241,6 +241,9 @@ class Causer(NeuralSequentialRecommender):
 
         logits: Optional[Tensor] = None
         present_clusters = np.unique(cand_clusters)
+        # One user-state lookup shared by every per-cluster RNN pass; its
+        # gradient accumulates once per consumer, identical to rebuilding it.
+        initial_state = self._user_initial_state(batch)
         for k in present_clusters:
             keep_k = ((w_cols[batch.items, k] > cfg.epsilon)
                       & (batch.basket_mask > 0))               # (B, T, S)
@@ -249,7 +252,7 @@ class Causer(NeuralSequentialRecommender):
             inputs_k = (gathered * slot_mask).sum(axis=2)
             states_k, last_k = self.rnn(
                 inputs_k, step_mask=step_mask_k,
-                initial_state=self._user_initial_state(batch))
+                initial_state=initial_state)
             scores_k = self._attention_scores(states_k, last_k)
 
             keep_slots = (pairwise.data > cfg.epsilon).astype(np.float64)

@@ -94,14 +94,14 @@ def pad_samples(samples: Sequence[EvalSample],
     users = np.array([s.user_id for s in samples], dtype=np.int64)
 
     for row, (sample, history) in enumerate(zip(samples, histories)):
+        step_mask[row, :len(history)] = True
         for t, basket in enumerate(history):
-            step_mask[row, t] = True
-            for slot, item in enumerate(basket):
-                items[row, t, slot] = item
-                basket_mask[row, t, slot] = 1.0
-        for p, item in enumerate(sample.target):
-            positives[row, p] = item
-            positive_mask[row, p] = 1.0
+            width = len(basket)
+            items[row, t, :width] = basket
+            basket_mask[row, t, :width] = 1.0
+        num_pos = len(sample.target)
+        positives[row, :num_pos] = sample.target
+        positive_mask[row, :num_pos] = 1.0
 
     return PaddedBatch(users=users, items=items, basket_mask=basket_mask,
                        step_mask=step_mask, positives=positives,

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
+import numpy as np
+
 from ..data.interactions import EvalSample
 from . import metrics as M
 
@@ -36,22 +38,47 @@ class EvaluationResult:
 def evaluate_rankings(rankings: Sequence[Sequence[int]],
                       samples: Sequence[EvalSample],
                       z: int = 5) -> EvaluationResult:
-    """Score precomputed rankings against sample targets."""
+    """Score precomputed rankings against sample targets.
+
+    All six metrics derive from one membership pass per user (is the i-th
+    recommended item relevant?) plus precomputed log-discount tables,
+    instead of six independent scans through each ranking.  Agrees with the
+    formula-level functions in :mod:`repro.eval.metrics` to rounding.
+    """
     if len(rankings) != len(samples):
         raise ValueError(
             f"got {len(rankings)} rankings for {len(samples)} samples")
     result = EvaluationResult(z=z, per_user={
         "precision": [], "recall": [], "f1": [], "ndcg": [], "hit": [], "mrr": [],
     })
+    # discounts[i] = 1 / log2(i + 2) for 0-based position i;
+    # ideal_cum[k] = DCG of a perfect ranking with k relevant items in top-z.
+    discounts = 1.0 / np.log2(np.arange(2, z + 2, dtype=np.float64))
+    ideal_cum = np.concatenate([[0.0], np.cumsum(discounts)])
+    per_user = result.per_user
     for ranking, sample in zip(rankings, samples):
         top = list(ranking)[:z]
         relevant = set(sample.target)
-        result.per_user["precision"].append(M.precision_at_z(top, relevant))
-        result.per_user["recall"].append(M.recall_at_z(top, relevant))
-        result.per_user["f1"].append(M.f1_at_z(top, relevant))
-        result.per_user["ndcg"].append(M.ndcg_at_z(top, relevant))
-        result.per_user["hit"].append(M.hit_rate_at_z(top, relevant))
-        result.per_user["mrr"].append(M.mrr_at_z(top, relevant))
+        hits = np.fromiter((item in relevant for item in top),
+                           dtype=np.float64, count=len(top))
+        num_hits = float(hits.sum())
+        num_rec, num_rel = len(top), len(relevant)
+        precision = num_hits / num_rec if num_rec else 0.0
+        recall = num_hits / num_rel if num_rel else 0.0
+        f1 = (2.0 * precision * recall / (precision + recall)
+              if precision + recall else 0.0)
+        if num_rel and num_rec:
+            ideal = ideal_cum[min(num_rel, num_rec)]
+            ndcg = float(hits @ discounts[:num_rec]) / ideal if ideal else 0.0
+        else:
+            ndcg = 0.0
+        first = int(hits.argmax()) if num_hits else -1
+        per_user["precision"].append(precision)
+        per_user["recall"].append(recall)
+        per_user["f1"].append(f1)
+        per_user["ndcg"].append(ndcg)
+        per_user["hit"].append(1.0 if num_hits else 0.0)
+        per_user["mrr"].append(1.0 / (first + 1) if first >= 0 else 0.0)
     return result
 
 

@@ -81,11 +81,12 @@ class Recommender:
         scores[:, 0] = -np.inf  # never recommend the padding item
         top = np.argpartition(-scores, kth=min(z, scores.shape[1] - 1),
                               axis=1)[:, :z]
-        rankings: List[List[int]] = []
-        for row in range(scores.shape[0]):
-            order = top[row][np.argsort(-scores[row, top[row]], kind="stable")]
-            rankings.append([int(i) for i in order])
-        return rankings
+        # Order each row's top-z slice in one batched argsort instead of a
+        # Python loop of per-row sorts.
+        top_scores = np.take_along_axis(scores, top, axis=1)
+        order = np.argsort(-top_scores, axis=1, kind="stable")
+        ranked = np.take_along_axis(top, order, axis=1)
+        return [list(map(int, row)) for row in ranked]
 
 
 class NeuralSequentialRecommender(Recommender, Module):

@@ -9,6 +9,9 @@ fully self-contained.
 from .tensor import Tensor, concat, gradient_check, maximum, stack, where
 from .module import (Dropout, Embedding, LayerNorm, Linear, MLP, Module,
                      Parameter, Sequential, no_grad)
+from .fused import (fused_bce_with_logits, fused_cross_entropy,
+                    fused_gru_sequence, fused_gru_step, fused_lstm_sequence,
+                    fused_lstm_step, fused_masked_softmax)
 from .rnn import GRUCell, LSTMCell, RecurrentLayer
 from .attention import (AdditiveAttention, BilinearAttention,
                         MultiHeadSelfAttention, TransformerBlock)
@@ -21,6 +24,9 @@ __all__ = [
     "Tensor", "concat", "stack", "where", "maximum", "gradient_check",
     "Module", "Parameter", "Linear", "Embedding", "Dropout", "LayerNorm",
     "Sequential", "MLP", "no_grad",
+    "fused_bce_with_logits", "fused_cross_entropy", "fused_gru_sequence",
+    "fused_gru_step", "fused_lstm_sequence", "fused_lstm_step",
+    "fused_masked_softmax",
     "GRUCell", "LSTMCell", "RecurrentLayer",
     "BilinearAttention", "AdditiveAttention", "MultiHeadSelfAttention",
     "TransformerBlock",

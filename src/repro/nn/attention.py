@@ -49,7 +49,11 @@ class BilinearAttention(Module):
     def raw_scores(self, states: Tensor, query: Tensor) -> Tensor:
         """Unnormalized scores ``h_t^T A q``: shape ``(batch, time)``."""
         projected = query @ self.proj.T                 # (batch, dim)
-        return (states * projected.reshape(projected.shape[0], 1, -1)).sum(axis=-1)
+        batch, time = states.shape[0], states.shape[1]
+        # Batched matvec: one BLAS call replaces the broadcast
+        # multiply + reduce pair over the (batch, time, dim) block.
+        scores = states @ projected.reshape(batch, -1, 1)
+        return scores.reshape(batch, time)
 
 
 class AdditiveAttention(Module):

@@ -11,6 +11,7 @@ from typing import Optional
 
 import numpy as np
 
+from .fused import fused_masked_softmax
 from .tensor import Tensor
 
 
@@ -36,15 +37,11 @@ def masked_softmax(x: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
     ``mask`` is a constant boolean array broadcastable to ``x``.  Rows whose
     mask is entirely False produce all-zero probabilities instead of NaNs,
     which is the behaviour sequence models want for fully-padded rows.
+
+    Fused: a single graph node with the analytic ``y * (g - sum(g * y))``
+    backward (:func:`repro.nn.fused.fused_masked_softmax`).
     """
-    mask = np.asarray(mask, dtype=bool)
-    neg_inf = np.where(mask, 0.0, -1e30)
-    shifted = x + Tensor(neg_inf)
-    # gradlint: disable-next=GL002 — detached max shift; cancels in the gradient.
-    shifted = shifted - Tensor(shifted.data.max(axis=axis, keepdims=True))
-    exp = shifted.exp() * Tensor(mask.astype(np.float64))
-    denom = exp.sum(axis=axis, keepdims=True) + 1e-12
-    return exp / denom
+    return fused_masked_softmax(x, mask, axis=axis)
 
 
 def sigmoid(x: Tensor) -> Tensor:

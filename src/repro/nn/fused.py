@@ -1,0 +1,440 @@
+"""Fused autograd kernels for the engine's hot paths.
+
+Each op here collapses what used to be a chain of elementwise graph nodes
+into a single :meth:`Tensor._make` node with a hand-derived backward.  The
+win is twofold: the forward pass issues a handful of large numpy calls
+instead of dozens of small ones, and the backward pass runs one closure per
+step instead of rebuilding gradients through every intermediate.
+
+Numerical contract: every fused forward reproduces the exact op sequence of
+the composite implementation it replaces (same associativity, same
+:func:`repro.nn.tensor._stable_sigmoid`), so the golden-value fixtures in
+``tests/golden`` recorded against the composite code still match to 1e-10.
+Backwards are analytic and agree with the composite gradients up to
+floating-point rounding; finite-difference checks cover them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, _stable_sigmoid
+
+
+def fused_gru_step(x: Tensor, h: Tensor, w_ih: Tensor, w_hh: Tensor,
+                   b_ih: Tensor, b_hh: Tensor,
+                   keep: Optional[np.ndarray] = None) -> Tensor:
+    """One GRU step as a single graph node.
+
+    Computes ``h' = (1 - z) * n + z * h`` with the standard r/z/n gates.
+    ``keep`` is an optional constant ``(batch, 1)`` 0/1 array; where it is
+    zero the previous state is carried through unchanged (the layer's
+    step-mask skip rule), folded into the same node instead of three extra
+    elementwise ops per step.
+    """
+    x_data, h_data = x.data, h.data
+    w_ih_data, w_hh_data = w_ih.data, w_hh.data
+    hidden = w_hh_data.shape[1]
+    gates_x = x_data @ w_ih_data.T + b_ih.data
+    gates_h = h_data @ w_hh_data.T + b_hh.data
+    r = _stable_sigmoid(gates_x[:, :hidden] + gates_h[:, :hidden])
+    z = _stable_sigmoid(gates_x[:, hidden:2 * hidden]
+                        + gates_h[:, hidden:2 * hidden])
+    gates_h_n = gates_h[:, 2 * hidden:]
+    n = np.tanh(gates_x[:, 2 * hidden:] + r * gates_h_n)
+    h_new = (1.0 - z) * n + z * h_data
+    out_data = h_new if keep is None else h_new * keep + h_data * (1.0 - keep)
+
+    def backward(grad: np.ndarray) -> None:
+        g_new = grad if keep is None else grad * keep
+        dz = g_new * (h_data - n)
+        dn_pre = g_new * (1.0 - z) * (1.0 - n * n)
+        dr = dn_pre * gates_h_n
+        dgates_x = np.empty((grad.shape[0], 3 * hidden))
+        dgates_x[:, :hidden] = dr * r * (1.0 - r)
+        dgates_x[:, hidden:2 * hidden] = dz * z * (1.0 - z)
+        dgates_x[:, 2 * hidden:] = dn_pre
+        dgates_h = dgates_x.copy()
+        dgates_h[:, 2 * hidden:] *= r
+        if x.requires_grad:
+            x._accumulate(dgates_x @ w_ih_data, own=True)
+        if h.requires_grad:
+            dh = dgates_h @ w_hh_data + g_new * z
+            if keep is not None:
+                dh += grad * (1.0 - keep)
+            h._accumulate(dh, own=True)
+        if w_ih.requires_grad:
+            w_ih._accumulate(dgates_x.T @ x_data, own=True)
+        if w_hh.requires_grad:
+            w_hh._accumulate(dgates_h.T @ h_data, own=True)
+        if b_ih.requires_grad:
+            b_ih._accumulate(dgates_x.sum(axis=0), own=True)
+        if b_hh.requires_grad:
+            b_hh._accumulate(dgates_h.sum(axis=0), own=True)
+
+    return Tensor._make(out_data, (x, h, w_ih, w_hh, b_ih, b_hh), backward)
+
+
+def fused_lstm_step(x: Tensor, h: Tensor, c: Tensor, w_ih: Tensor,
+                    w_hh: Tensor, bias: Tensor,
+                    keep: Optional[np.ndarray] = None
+                    ) -> Tuple[Tensor, Tensor]:
+    """One LSTM step producing ``(h', c')`` as two nodes over shared math.
+
+    The two outputs share the forward intermediates; each backward
+    accumulates its own contribution into the six parents, and because
+    gradients are additive the split is exact.  ``keep`` behaves as in
+    :func:`fused_gru_step`, freezing both states on masked steps.
+    """
+    x_data, h_data, c_data = x.data, h.data, c.data
+    w_ih_data, w_hh_data = w_ih.data, w_hh.data
+    hidden = w_hh_data.shape[1]
+    gates = x_data @ w_ih_data.T + h_data @ w_hh_data.T + bias.data
+    i = _stable_sigmoid(gates[:, :hidden])
+    f = _stable_sigmoid(gates[:, hidden:2 * hidden])
+    g = np.tanh(gates[:, 2 * hidden:3 * hidden])
+    o = _stable_sigmoid(gates[:, 3 * hidden:])
+    c_new = f * c_data + i * g
+    tanh_c = np.tanh(c_new)
+    h_new = o * tanh_c
+    if keep is None:
+        h_out_data, c_out_data = h_new, c_new
+    else:
+        inv_keep = 1.0 - keep
+        h_out_data = h_new * keep + h_data * inv_keep
+        c_out_data = c_new * keep + c_data * inv_keep
+
+    parents = (x, h, c, w_ih, w_hh, bias)
+
+    def chain(dc_new: np.ndarray, do: Optional[np.ndarray],
+              dh_extra: Optional[np.ndarray],
+              dc_extra: Optional[np.ndarray]) -> None:
+        dgates = np.empty((dc_new.shape[0], 4 * hidden))
+        dgates[:, :hidden] = dc_new * g * i * (1.0 - i)
+        dgates[:, hidden:2 * hidden] = dc_new * c_data * f * (1.0 - f)
+        dgates[:, 2 * hidden:3 * hidden] = dc_new * i * (1.0 - g * g)
+        if do is None:
+            dgates[:, 3 * hidden:] = 0.0
+        else:
+            dgates[:, 3 * hidden:] = do * o * (1.0 - o)
+        if x.requires_grad:
+            x._accumulate(dgates @ w_ih_data, own=True)
+        if h.requires_grad:
+            dh = dgates @ w_hh_data
+            if dh_extra is not None:
+                dh += dh_extra
+            h._accumulate(dh, own=True)
+        if c.requires_grad:
+            dc = dc_new * f
+            if dc_extra is not None:
+                dc += dc_extra
+            c._accumulate(dc, own=True)
+        if w_ih.requires_grad:
+            w_ih._accumulate(dgates.T @ x_data, own=True)
+        if w_hh.requires_grad:
+            w_hh._accumulate(dgates.T @ h_data, own=True)
+        if bias.requires_grad:
+            bias._accumulate(dgates.sum(axis=0), own=True)
+
+    def backward_h(grad: np.ndarray) -> None:
+        g_h = grad if keep is None else grad * keep
+        do = g_h * tanh_c
+        dc_new = g_h * o * (1.0 - tanh_c * tanh_c)
+        dh_extra = None if keep is None else grad * (1.0 - keep)
+        chain(dc_new, do, dh_extra, None)
+
+    def backward_c(grad: np.ndarray) -> None:
+        g_c = grad if keep is None else grad * keep
+        dc_extra = None if keep is None else grad * (1.0 - keep)
+        chain(g_c, None, None, dc_extra)
+
+    h_out = Tensor._make(h_out_data, parents, backward_h)
+    c_out = Tensor._make(c_out_data, parents, backward_c)
+    return h_out, c_out
+
+
+def fused_masked_softmax(x: Tensor, mask: np.ndarray,
+                         axis: int = -1) -> Tensor:
+    """Masked softmax as one node: ``y = exp * m / (sum + 1e-12)``.
+
+    Backward is the analytic ``y * (g - sum(g * y))`` — exact for this
+    forward including the epsilon in the denominator, because the epsilon
+    is a constant added to a sum whose derivative it does not change.
+    """
+    mask_b = np.asarray(mask, dtype=bool)
+    x_data = x.data
+    shifted = x_data + np.where(mask_b, 0.0, -1e30)
+    shifted = shifted - shifted.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted) * mask_b.astype(np.float64)
+    denom = exp.sum(axis=axis, keepdims=True) + 1e-12
+    out_data = exp / denom
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            inner = (grad * out_data).sum(axis=axis, keepdims=True)
+            x._accumulate(out_data * (grad - inner), own=True)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def fused_cross_entropy(logits: Tensor, target_indices: np.ndarray) -> Tensor:
+    """Softmax cross-entropy with integer targets as a single node.
+
+    Backward is the classic ``(softmax - onehot) / batch`` — one subtraction
+    on the already-computed softmax instead of re-deriving through
+    log-softmax, gather and mean nodes.
+    """
+    targets = np.asarray(target_indices, dtype=np.int64)
+    x_data = logits.data
+    shifted = x_data - x_data.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    sum_exp = exp.sum(axis=-1, keepdims=True)
+    rows = np.arange(x_data.shape[0])
+    picked = (shifted - np.log(sum_exp))[rows, targets]
+    batch = x_data.shape[0]
+    out_data = -(picked.sum() * (1.0 / batch))
+
+    def backward(grad: np.ndarray) -> None:
+        if logits.requires_grad:
+            scale = float(grad) * (1.0 / batch)
+            dlogits = (exp / sum_exp) * scale
+            dlogits[rows, targets] -= scale
+            logits._accumulate(dlogits, own=True)
+
+    return Tensor._make(np.asarray(out_data), (logits,), backward)
+
+
+def fused_bce_with_logits(logits: Tensor, targets: np.ndarray,
+                          mask: Optional[np.ndarray] = None) -> Tensor:
+    """Stable BCE-on-logits (``max(x,0) - x*y + log(1 + e^{-|x|})``) fused.
+
+    The backward replicates the composite relu/abs subgradients exactly
+    (zero at ``x == 0``), so it matches the unfused loss everywhere, not
+    just almost-everywhere.
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    x_data = logits.data
+    abs_x = np.abs(x_data)
+    exp_neg = np.exp(-abs_x)
+    positive = x_data > 0
+    per_entry = x_data * positive - x_data * targets + np.log(1.0 + exp_neg)
+    if mask is not None:
+        mask = np.asarray(mask, dtype=np.float64)
+        denom = max(float(mask.sum()), 1.0)
+        out_data = (per_entry * mask).sum() * (1.0 / denom)
+    else:
+        denom = float(per_entry.size)
+        out_data = per_entry.sum() * (1.0 / denom)
+
+    def backward(grad: np.ndarray) -> None:
+        if logits.requires_grad:
+            dper = positive - targets - np.sign(x_data) * (exp_neg
+                                                           / (1.0 + exp_neg))
+            if mask is not None:
+                dper *= mask
+            dper *= float(grad) * (1.0 / denom)
+            logits._accumulate(dper, own=True)
+
+    return Tensor._make(np.asarray(out_data), (logits,), backward)
+
+
+def fused_gru_sequence(inputs: Tensor, h0: Tensor, w_ih: Tensor,
+                       w_hh: Tensor, b_ih: Tensor, b_hh: Tensor,
+                       step_mask: Optional[np.ndarray] = None) -> Tensor:
+    """A whole GRU unroll as one graph node returning ``(B, T, H)`` states.
+
+    The input-side projection for *all* timesteps runs as a single
+    ``(B*T, I) @ (I, 3H)`` gemm, and the backward pass is a tight BPTT loop
+    whose weight gradients are likewise batched into one gemm each.  Only
+    the recurrent ``h @ W_hh^T`` product remains per-step, because it must.
+    ``step_mask`` rows that are False freeze the state exactly like the
+    per-step ``keep`` argument of :func:`fused_gru_step`.
+    """
+    inputs_data, h0_data = inputs.data, h0.data
+    w_ih_data, w_hh_data = w_ih.data, w_hh.data
+    batch, time, in_size = inputs_data.shape
+    hidden = w_hh_data.shape[1]
+    keep = None
+    if step_mask is not None and not step_mask.all():
+        keep = np.asarray(step_mask, dtype=np.float64)
+
+    gates_x = inputs_data.reshape(batch * time, in_size) @ w_ih_data.T
+    gates_x += b_ih.data
+    gates_x = gates_x.reshape(batch, time, 3 * hidden)
+
+    r_seq = np.empty((batch, time, hidden))
+    z_seq = np.empty((batch, time, hidden))
+    n_seq = np.empty((batch, time, hidden))
+    ghn_seq = np.empty((batch, time, hidden))
+    prev_seq = np.empty((batch, time, hidden))
+    states_data = np.empty((batch, time, hidden))
+    h = h0_data
+    b_hh_data = b_hh.data
+    for t in range(time):
+        prev_seq[:, t] = h
+        gates_h = h @ w_hh_data.T + b_hh_data
+        gx = gates_x[:, t]
+        r = _stable_sigmoid(gx[:, :hidden] + gates_h[:, :hidden])
+        z = _stable_sigmoid(gx[:, hidden:2 * hidden]
+                            + gates_h[:, hidden:2 * hidden])
+        ghn = gates_h[:, 2 * hidden:]
+        n = np.tanh(gx[:, 2 * hidden:] + r * ghn)
+        h_new = (1.0 - z) * n + z * h
+        if keep is not None:
+            k = keep[:, t:t + 1]
+            h_new = h_new * k + h * (1.0 - k)
+        r_seq[:, t], z_seq[:, t], n_seq[:, t], ghn_seq[:, t] = r, z, n, ghn
+        states_data[:, t] = h = h_new
+
+    def backward(grad: np.ndarray) -> None:
+        dgx_seq = np.empty((batch, time, 3 * hidden))
+        dgh_seq = np.empty((batch, time, 3 * hidden))
+        dh = np.zeros((batch, hidden))
+        for t in range(time - 1, -1, -1):
+            g = grad[:, t] + dh
+            if keep is not None:
+                k = keep[:, t:t + 1]
+                g_new = g * k
+            else:
+                g_new = g
+            r, z, n = r_seq[:, t], z_seq[:, t], n_seq[:, t]
+            h_prev = prev_seq[:, t]
+            dz = g_new * (h_prev - n)
+            dn_pre = g_new * (1.0 - z) * (1.0 - n * n)
+            dr = dn_pre * ghn_seq[:, t]
+            dgx = dgx_seq[:, t]
+            dgx[:, :hidden] = dr * r * (1.0 - r)
+            dgx[:, hidden:2 * hidden] = dz * z * (1.0 - z)
+            dgx[:, 2 * hidden:] = dn_pre
+            dgh = dgh_seq[:, t]
+            dgh[:] = dgx
+            dgh[:, 2 * hidden:] *= r
+            dh = dgh @ w_hh_data + g_new * z
+            if keep is not None:
+                dh += g * (1.0 - k)
+        flat_dgx = dgx_seq.reshape(batch * time, 3 * hidden)
+        flat_dgh = dgh_seq.reshape(batch * time, 3 * hidden)
+        if inputs.requires_grad:
+            dx = (flat_dgx @ w_ih_data).reshape(batch, time, in_size)
+            inputs._accumulate(dx, own=True)
+        if h0.requires_grad:
+            h0._accumulate(dh, own=True)
+        if w_ih.requires_grad:
+            w_ih._accumulate(
+                flat_dgx.T @ inputs_data.reshape(batch * time, in_size),
+                own=True)
+        if w_hh.requires_grad:
+            w_hh._accumulate(
+                flat_dgh.T @ prev_seq.reshape(batch * time, hidden), own=True)
+        if b_ih.requires_grad:
+            b_ih._accumulate(flat_dgx.sum(axis=0), own=True)
+        if b_hh.requires_grad:
+            b_hh._accumulate(flat_dgh.sum(axis=0), own=True)
+
+    return Tensor._make(states_data, (inputs, h0, w_ih, w_hh, b_ih, b_hh),
+                        backward)
+
+
+def fused_lstm_sequence(inputs: Tensor, h0: Tensor, c0: Tensor,
+                        w_ih: Tensor, w_hh: Tensor, bias: Tensor,
+                        step_mask: Optional[np.ndarray] = None) -> Tensor:
+    """A whole LSTM unroll as one node returning ``(B, T, H)`` hidden states.
+
+    The cell chain stays internal to the node (the layer API only exposes
+    hidden states), so its gradient is carried by the BPTT loop instead of
+    per-step autograd edges.  Masked steps freeze both ``h`` and ``c``.
+    """
+    inputs_data, h0_data, c0_data = inputs.data, h0.data, c0.data
+    w_ih_data, w_hh_data = w_ih.data, w_hh.data
+    batch, time, in_size = inputs_data.shape
+    hidden = w_hh_data.shape[1]
+    keep = None
+    if step_mask is not None and not step_mask.all():
+        keep = np.asarray(step_mask, dtype=np.float64)
+
+    gates_x = inputs_data.reshape(batch * time, in_size) @ w_ih_data.T
+    gates_x += bias.data
+    gates_x = gates_x.reshape(batch, time, 4 * hidden)
+
+    i_seq = np.empty((batch, time, hidden))
+    f_seq = np.empty((batch, time, hidden))
+    g_seq = np.empty((batch, time, hidden))
+    o_seq = np.empty((batch, time, hidden))
+    tanh_c_seq = np.empty((batch, time, hidden))
+    h_prev_seq = np.empty((batch, time, hidden))
+    c_prev_seq = np.empty((batch, time, hidden))
+    states_data = np.empty((batch, time, hidden))
+    h, c = h0_data, c0_data
+    for t in range(time):
+        h_prev_seq[:, t], c_prev_seq[:, t] = h, c
+        gates = gates_x[:, t] + h @ w_hh_data.T
+        i = _stable_sigmoid(gates[:, :hidden])
+        f = _stable_sigmoid(gates[:, hidden:2 * hidden])
+        g = np.tanh(gates[:, 2 * hidden:3 * hidden])
+        o = _stable_sigmoid(gates[:, 3 * hidden:])
+        c_new = f * c + i * g
+        tanh_c = np.tanh(c_new)
+        h_new = o * tanh_c
+        if keep is not None:
+            k = keep[:, t:t + 1]
+            inv_k = 1.0 - k
+            h_new = h_new * k + h * inv_k
+            c_new = c_new * k + c * inv_k
+        i_seq[:, t], f_seq[:, t], g_seq[:, t], o_seq[:, t] = i, f, g, o
+        tanh_c_seq[:, t] = tanh_c
+        states_data[:, t] = h = h_new
+        c = c_new
+
+    def backward(grad: np.ndarray) -> None:
+        dgates_seq = np.empty((batch, time, 4 * hidden))
+        dh = np.zeros((batch, hidden))
+        dc = np.zeros((batch, hidden))
+        for t in range(time - 1, -1, -1):
+            g_total = grad[:, t] + dh
+            if keep is not None:
+                k = keep[:, t:t + 1]
+                g_new, dc_new = g_total * k, dc * k
+            else:
+                g_new, dc_new = g_total, dc
+            i, f = i_seq[:, t], f_seq[:, t]
+            g_gate, o = g_seq[:, t], o_seq[:, t]
+            tanh_c = tanh_c_seq[:, t]
+            c_prev = c_prev_seq[:, t]
+            do = g_new * tanh_c
+            dc_new = dc_new + g_new * o * (1.0 - tanh_c * tanh_c)
+            dgates = dgates_seq[:, t]
+            dgates[:, :hidden] = dc_new * g_gate * i * (1.0 - i)
+            dgates[:, hidden:2 * hidden] = dc_new * c_prev * f * (1.0 - f)
+            dgates[:, 2 * hidden:3 * hidden] = dc_new * i * (1.0 - g_gate
+                                                             * g_gate)
+            dgates[:, 3 * hidden:] = do * o * (1.0 - o)
+            dh = dgates @ w_hh_data
+            dc_next = dc_new * f
+            if keep is not None:
+                inv_k = 1.0 - k
+                dh += g_total * inv_k
+                dc_next += dc * inv_k
+            dc = dc_next
+        flat_dgates = dgates_seq.reshape(batch * time, 4 * hidden)
+        if inputs.requires_grad:
+            dx = (flat_dgates @ w_ih_data).reshape(batch, time, in_size)
+            inputs._accumulate(dx, own=True)
+        if h0.requires_grad:
+            h0._accumulate(dh, own=True)
+        if c0.requires_grad:
+            c0._accumulate(dc, own=True)
+        if w_ih.requires_grad:
+            w_ih._accumulate(
+                flat_dgates.T @ inputs_data.reshape(batch * time, in_size),
+                own=True)
+        if w_hh.requires_grad:
+            w_hh._accumulate(
+                flat_dgates.T @ h_prev_seq.reshape(batch * time, hidden),
+                own=True)
+        if bias.requires_grad:
+            bias._accumulate(flat_dgates.sum(axis=0), own=True)
+
+    return Tensor._make(states_data, (inputs, h0, c0, w_ih, w_hh, bias),
+                        backward)

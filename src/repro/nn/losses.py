@@ -10,7 +10,7 @@ from typing import Optional
 
 import numpy as np
 
-from . import functional as F
+from .fused import fused_bce_with_logits, fused_cross_entropy
 from .tensor import Tensor
 
 
@@ -22,18 +22,11 @@ def bce_with_logits(logits: Tensor, targets: np.ndarray,
     the paper's eq. (11) objective applied with sigmoid scoring and negative
     sampling.  ``mask`` selects which entries participate (padded positions
     drop out); the loss is averaged over participating entries.
+
+    Fused: forward and backward run as one graph node
+    (:func:`repro.nn.fused.fused_bce_with_logits`).
     """
-    targets = np.asarray(targets, dtype=np.float64)
-    x = logits
-    relu_x = x.relu()
-    softplus = (1.0 + (-x.abs()).exp()).log()
-    per_entry = relu_x - x * Tensor(targets) + softplus
-    if mask is not None:
-        mask = np.asarray(mask, dtype=np.float64)
-        total = per_entry * Tensor(mask)
-        denom = max(float(mask.sum()), 1.0)
-        return total.sum() * (1.0 / denom)
-    return per_entry.mean()
+    return fused_bce_with_logits(logits, targets, mask=mask)
 
 
 def bce_on_probabilities(probs: Tensor, targets: np.ndarray,
@@ -69,12 +62,13 @@ def mse_loss(pred: Tensor, target: np.ndarray) -> Tensor:
 
 
 def cross_entropy(logits: Tensor, target_indices: np.ndarray) -> Tensor:
-    """Softmax cross-entropy with integer class targets."""
-    log_probs = F.log_softmax(logits, axis=-1)
-    targets = np.asarray(target_indices, dtype=np.int64)
-    rows = np.arange(log_probs.shape[0])
-    picked = log_probs[rows, targets]
-    return -picked.mean()
+    """Softmax cross-entropy with integer class targets.
+
+    Fused: one node computing the loss and the classic
+    ``(softmax - onehot) / batch`` gradient
+    (:func:`repro.nn.fused.fused_cross_entropy`).
+    """
+    return fused_cross_entropy(logits, target_indices)
 
 
 def l1_penalty(tensor: Tensor) -> Tensor:

@@ -8,13 +8,15 @@ and return all hidden states so attention modules can consume them.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from . import init
+from .fused import (fused_gru_sequence, fused_gru_step, fused_lstm_sequence,
+                    fused_lstm_step)
 from .module import Module, Parameter
-from .tensor import Tensor, stack
+from .tensor import Tensor
 
 
 class GRUCell(Module):
@@ -38,14 +40,10 @@ class GRUCell(Module):
         self.b_ih = Parameter(init.zeros((3 * hidden_size,)))
         self.b_hh = Parameter(init.zeros((3 * hidden_size,)))
 
-    def forward(self, x: Tensor, h: Tensor) -> Tensor:
-        gates_x = x @ self.w_ih.T + self.b_ih
-        gates_h = h @ self.w_hh.T + self.b_hh
-        hs = self.hidden_size
-        r = (gates_x[:, :hs] + gates_h[:, :hs]).sigmoid()
-        z = (gates_x[:, hs:2 * hs] + gates_h[:, hs:2 * hs]).sigmoid()
-        n = (gates_x[:, 2 * hs:] + r * gates_h[:, 2 * hs:]).tanh()
-        return (1.0 - z) * n + z * h
+    def forward(self, x: Tensor, h: Tensor,
+                keep: Optional[np.ndarray] = None) -> Tensor:
+        return fused_gru_step(x, h, self.w_ih, self.w_hh,
+                              self.b_ih, self.b_hh, keep=keep)
 
     def initial_state(self, batch_size: int) -> Tensor:
         return Tensor(np.zeros((batch_size, self.hidden_size)))
@@ -66,17 +64,11 @@ class LSTMCell(Module):
         bias[hidden_size:2 * hidden_size] = 1.0
         self.bias = Parameter(bias)
 
-    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor],
+                keep: Optional[np.ndarray] = None) -> Tuple[Tensor, Tensor]:
         h, c = state
-        gates = x @ self.w_ih.T + h @ self.w_hh.T + self.bias
-        hs = self.hidden_size
-        i = gates[:, :hs].sigmoid()
-        f = gates[:, hs:2 * hs].sigmoid()
-        g = gates[:, 2 * hs:3 * hs].tanh()
-        o = gates[:, 3 * hs:].sigmoid()
-        c_next = f * c + i * g
-        h_next = o * c_next.tanh()
-        return h_next, c_next
+        return fused_lstm_step(x, h, c, self.w_ih, self.w_hh, self.bias,
+                               keep=keep)
 
     def initial_state(self, batch_size: int) -> Tuple[Tensor, Tensor]:
         zeros = np.zeros((batch_size, self.hidden_size))
@@ -117,25 +109,19 @@ class RecurrentLayer(Module):
         else:
             step_mask = np.asarray(step_mask, dtype=bool)
 
-        outputs: List[Tensor] = []
-        if self.cell_type == "gru":
-            h = (initial_state if initial_state is not None
-                 else self.cell.initial_state(batch))
-            for t in range(time):
-                h_new = self.cell(inputs[:, t, :], h)
-                keep = Tensor(step_mask[:, t:t + 1].astype(np.float64))
-                h = h_new * keep + h * (1.0 - keep)
-                outputs.append(h)
-        else:
-            h, c = self.cell.initial_state(batch)
+        cell = self.cell
+        if self.cell_type == "lstm":
+            h0, c0 = cell.initial_state(batch)
             if initial_state is not None:
-                h = initial_state
-            for t in range(time):
-                h_new, c_new = self.cell(inputs[:, t, :], (h, c))
-                keep = Tensor(step_mask[:, t:t + 1].astype(np.float64))
-                h = h_new * keep + h * (1.0 - keep)
-                c = c_new * keep + c * (1.0 - keep)
-                outputs.append(h)
-
-        states = stack(outputs, axis=1)
-        return states, h
+                h0 = initial_state
+            states = fused_lstm_sequence(inputs, h0, c0, cell.w_ih,
+                                         cell.w_hh, cell.bias,
+                                         step_mask=step_mask)
+        else:
+            h0 = (initial_state if initial_state is not None
+                  else cell.initial_state(batch))
+            states = fused_gru_sequence(inputs, h0, cell.w_ih, cell.w_hh,
+                                        cell.b_ih, cell.b_hh,
+                                        step_mask=step_mask)
+        last = states[:, time - 1, :]
+        return states, last

@@ -64,6 +64,65 @@ def _as_array(value: ArrayLike) -> np.ndarray:
     return np.asarray(value, dtype=np.float64)
 
 
+def _stable_sigmoid(data: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic used by every sigmoid in the engine.
+
+    Kept as a module-level helper so the fused kernels in
+    :mod:`repro.nn.fused` share the exact same numerics as
+    :meth:`Tensor.sigmoid` (the golden-equivalence tests rely on this).
+    """
+    clipped = np.clip(data, -500, 500)
+    # One exp of -|x| serves both branches: for x >= 0 it equals exp(-x)
+    # and for x < 0 it equals exp(x), so each branch below is bit-identical
+    # to the textbook two-sided form while halving the exp calls.
+    decay = np.exp(-np.abs(clipped))
+    return np.where(data >= 0,
+                    1.0 / (1.0 + decay),
+                    decay / (1.0 + decay))
+
+
+def _is_basic_index(index) -> bool:
+    """True for indices where every output element maps to a distinct input.
+
+    Basic indexing (ints, slices, Ellipsis, None) and boolean masks never
+    select the same source element twice, so the gradient scatter can use a
+    direct ``+=`` store instead of the much slower ``np.add.at``.
+    """
+    basic = (int, np.integer, slice, type(Ellipsis), type(None))
+    if isinstance(index, basic):
+        return True
+    if isinstance(index, np.ndarray):
+        return index.dtype == np.bool_
+    if isinstance(index, tuple):
+        return all(isinstance(part, basic) for part in index)
+    return False
+
+
+def _scatter_add(target: np.ndarray, index, grad: np.ndarray) -> None:
+    """Accumulate ``grad`` into ``target[index]``, duplicate-safe and fast.
+
+    Three tiers: direct ``+=`` for duplicate-free (basic/bool) indices, a
+    single-``bincount`` scatter for the integer-array gathers on the
+    embedding hot path, and ``np.add.at`` as the general fallback.
+    """
+    if _is_basic_index(index):
+        target[index] += grad
+        return
+    if (isinstance(index, np.ndarray) and index.dtype != np.bool_
+            and target.ndim >= 1):
+        rows = target.shape[0]
+        tail = int(np.prod(target.shape[1:], dtype=np.int64))
+        if rows * tail <= 50_000_000:
+            flat_idx = np.asarray(index, dtype=np.int64).ravel() % rows
+            grad2d = np.ascontiguousarray(grad).reshape(flat_idx.size, tail)
+            composite = flat_idx[:, None] * tail + np.arange(tail)
+            summed = np.bincount(composite.ravel(), weights=grad2d.ravel(),
+                                 minlength=rows * tail)
+            target += summed.reshape(target.shape)
+            return
+    np.add.at(target, index, grad)
+
+
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` down to ``shape``, undoing numpy broadcasting.
 
@@ -165,11 +224,19 @@ class Tensor:
             _OBSERVER.on_create(out, parents)
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray, own: bool = False) -> None:
+        """Add ``grad`` into this tensor's gradient buffer.
+
+        ``own=True`` asserts the caller freshly allocated ``grad`` and holds
+        no other reference, letting the buffer be adopted without the
+        defensive copy — the engine's gradient-buffer reuse fast path.
+        Closures that may pass through a shared upstream buffer (e.g. the
+        identity branch of ``_unbroadcast``) must leave ``own`` False.
+        """
         if _OBSERVER is not None:
             _OBSERVER.on_accumulate(self, grad)
         if self.grad is None:
-            self.grad = grad.copy()
+            self.grad = grad if own else grad.copy()
         else:
             self.grad += grad
 
@@ -185,21 +252,32 @@ class Tensor:
         if seed.shape != self.data.shape:
             raise ValueError(f"gradient shape {seed.shape} does not match tensor shape {self.data.shape}")
 
+        # Iterative post-order topological sort.  The stack holds plain
+        # nodes; a node is emitted when popped for the second time, which
+        # the `emitted` set distinguishes from the first visit — no
+        # (node, flag) tuple allocation per push.
         topo: List[Tensor] = []
+        topo_append = topo.append
         visited = set()
-        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        visited_add = visited.add
+        emitted = set()
+        stack: List[Tensor] = [self]
+        stack_pop = stack.pop
+        stack_append = stack.append
         while stack:
-            node, processed = stack.pop()
-            if processed:
-                topo.append(node)
+            node = stack_pop()
+            node_id = id(node)
+            if node_id in emitted:
                 continue
-            if id(node) in visited:
+            if node_id in visited:
+                emitted.add(node_id)
+                topo_append(node)
                 continue
-            visited.add(id(node))
-            stack.append((node, True))
+            visited_add(node_id)
+            stack_append(node)
             for parent in node._parents:
                 if id(parent) not in visited:
-                    stack.append((parent, False))
+                    stack_append(parent)
 
         observer = _OBSERVER
         if observer is not None:
@@ -211,6 +289,14 @@ class Tensor:
                     if observer is not None:
                         observer.on_node_backward(node)
                     node._backward(node.grad)
+                    # All consumers of an interior node have already run
+                    # (reverse topological order), so its gradient buffer
+                    # is dead weight from here on — release it to keep the
+                    # peak allocation proportional to the live frontier,
+                    # not the whole graph.  Leaves (no `_backward`) and the
+                    # root keep their gradients for the caller.
+                    if node is not self:
+                        node.grad = None
         finally:
             if observer is not None:
                 observer.on_backward_end(self)
@@ -224,9 +310,11 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad, self.shape))
+                g = _unbroadcast(grad, self.shape)
+                self._accumulate(g, own=g is not grad)
             if other_t.requires_grad:
-                other_t._accumulate(_unbroadcast(grad, other_t.shape))
+                g = _unbroadcast(grad, other_t.shape)
+                other_t._accumulate(g, own=g is not grad)
 
         return Tensor._make(out_data, (self, other_t), backward)
 
@@ -235,7 +323,7 @@ class Tensor:
     def __neg__(self) -> "Tensor":
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(-grad)
+                self._accumulate(-grad, own=True)
 
         return Tensor._make(-self.data, (self,), backward)
 
@@ -252,9 +340,11 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad * other_t.data, self.shape))
+                self._accumulate(_unbroadcast(grad * other_t.data, self.shape),
+                                 own=True)
             if other_t.requires_grad:
-                other_t._accumulate(_unbroadcast(grad * self.data, other_t.shape))
+                other_t._accumulate(_unbroadcast(grad * self.data,
+                                                 other_t.shape), own=True)
 
         return Tensor._make(out_data, (self, other_t), backward)
 
@@ -266,10 +356,12 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad / other_t.data, self.shape))
+                self._accumulate(_unbroadcast(grad / other_t.data, self.shape),
+                                 own=True)
             if other_t.requires_grad:
                 other_t._accumulate(
-                    _unbroadcast(-grad * self.data / (other_t.data ** 2), other_t.shape))
+                    _unbroadcast(-grad * self.data / (other_t.data ** 2),
+                                 other_t.shape), own=True)
 
         return Tensor._make(out_data, (self, other_t), backward)
 
@@ -283,7 +375,8 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+                self._accumulate(grad * exponent * self.data ** (exponent - 1),
+                                 own=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -303,7 +396,7 @@ class Tensor:
                     grad_a = grad @ np.swapaxes(b, -1, -2)
                 else:
                     grad_a = grad @ np.swapaxes(b, -1, -2)
-                self._accumulate(_unbroadcast(grad_a, a.shape))
+                self._accumulate(_unbroadcast(grad_a, a.shape), own=True)
             if other_t.requires_grad:
                 if a.ndim == 1:
                     grad_b = np.multiply.outer(a, grad) if b.ndim > 1 else a * grad
@@ -311,7 +404,7 @@ class Tensor:
                     grad_b = np.swapaxes(a, -1, -2) @ grad if a.ndim > 2 else a.T @ grad
                 else:
                     grad_b = np.swapaxes(a, -1, -2) @ grad
-                other_t._accumulate(_unbroadcast(grad_b, b.shape))
+                other_t._accumulate(_unbroadcast(grad_b, b.shape), own=True)
 
         return Tensor._make(out_data, (self, other_t), backward)
 
@@ -325,7 +418,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(np.transpose(grad, inverse))
+                self._accumulate(np.transpose(grad, inverse).copy(), own=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -337,7 +430,8 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad.reshape(original))
+                g = grad.reshape(original)
+                self._accumulate(g, own=g is not grad)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -346,9 +440,12 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                full = np.zeros_like(self.data)
-                np.add.at(full, index, grad)
-                self._accumulate(full)
+                # np.zeros is calloc-backed: untouched pages stay unmapped,
+                # which matters when the index selects a small slice of a
+                # large tensor (the per-timestep input slices of an unroll).
+                full = np.zeros(self.data.shape)
+                _scatter_add(full, index, grad)
+                self._accumulate(full, own=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -366,7 +463,7 @@ class Tensor:
             if axis is not None and not keepdims:
                 axes = (axis,) if isinstance(axis, int) else tuple(axis)
                 g = np.expand_dims(g, axis=tuple(a % self.data.ndim for a in axes))
-            self._accumulate(np.broadcast_to(g, self.shape).copy())
+            self._accumulate(np.broadcast_to(g, self.shape).copy(), own=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -388,13 +485,13 @@ class Tensor:
             if axis is None:
                 mask = (self.data == out_data)
                 share = grad / mask.sum()
-                self._accumulate(mask * share)
+                self._accumulate(mask * share, own=True)
             else:
                 expanded = out_data if keepdims else np.expand_dims(out_data, axis)
                 mask = (self.data == expanded)
                 g = grad if keepdims else np.expand_dims(grad, axis)
                 counts = mask.sum(axis=axis, keepdims=True)
-                self._accumulate(mask * g / counts)
+                self._accumulate(mask * g / counts, own=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -406,7 +503,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * out_data)
+                self._accumulate(grad * out_data, own=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -415,7 +512,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad / self.data)
+                self._accumulate(grad / self.data, own=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -424,7 +521,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * 0.5 / out_data)
+                self._accumulate(grad * 0.5 / out_data, own=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -433,7 +530,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * np.sign(self.data))
+                self._accumulate(grad * np.sign(self.data), own=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -442,20 +539,16 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * (1.0 - out_data ** 2))
+                self._accumulate(grad * (1.0 - out_data ** 2), own=True)
 
         return Tensor._make(out_data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        # Numerically stable logistic.
-        out_data = np.where(self.data >= 0,
-                            1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500))),
-                            np.exp(np.clip(self.data, -500, 500)) /
-                            (1.0 + np.exp(np.clip(self.data, -500, 500))))
+        out_data = _stable_sigmoid(self.data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * out_data * (1.0 - out_data))
+                self._accumulate(grad * out_data * (1.0 - out_data), own=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -465,7 +558,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * mask)
+                self._accumulate(grad * mask, own=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -475,7 +568,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * mask)
+                self._accumulate(grad * mask, own=True)
 
         return Tensor._make(out_data, (self,), backward)
 

@@ -278,4 +278,5 @@ class TestRepoIsClean:
         messages = [f.render() for f in report.findings]
         assert messages == []
         # The intentional detaches/seed-writes are suppressed, not hidden.
-        assert report.suppressed >= 5
+        # (The fused masked_softmax kernel retired one former GL002 site.)
+        assert report.suppressed >= 4

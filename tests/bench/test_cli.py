@@ -1,0 +1,121 @@
+"""Tests for the ``python -m repro.bench`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.bench import document, load_json, validate_document, write_json
+from repro.bench.cli import EXIT_ERROR, EXIT_OK, EXIT_REGRESSION, main
+from repro.bench.harness import BenchResult
+
+
+def tiny_doc(mean_s, name="backward_engine"):
+    result = BenchResult(name=name, wall_s=[mean_s], rss_peak_kb=1, warmup=0)
+    return document("engine", [result])
+
+
+class TestList:
+    def test_lists_engine_suite(self, capsys):
+        assert main(["list"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "suite engine:" in out
+        assert "train_epoch_gru" in out
+        assert "dag_constraint" in out
+
+
+class TestRun:
+    def test_quick_single_bench_writes_valid_document(self, tmp_path, capsys):
+        out_path = str(tmp_path / "run.json")
+        code = main(["run", "--quick", "--bench", "backward_engine",
+                     "--repeats", "1", "--warmup", "0", "--out", out_path])
+        assert code == EXIT_OK
+        doc = load_json(out_path)
+        assert validate_document(doc) == []
+        assert doc["quick"] is True
+        assert list(doc["benches"]) == ["backward_engine"]
+        assert "backward_engine" in capsys.readouterr().out
+
+    def test_unknown_bench_is_an_error(self, capsys):
+        assert main(["run", "--quick", "--bench", "no_such_bench"]) \
+            == EXIT_ERROR
+        assert "error" in capsys.readouterr().err
+
+    def test_run_against_slower_baseline_passes(self, tmp_path):
+        # A baseline claiming the bench took an hour can only improve.
+        baseline = str(tmp_path / "baseline.json")
+        write_json(tiny_doc(3600.0), baseline)
+        code = main(["run", "--quick", "--bench", "backward_engine",
+                     "--repeats", "1", "--warmup", "0",
+                     "--baseline", baseline])
+        assert code == EXIT_OK
+
+    def test_run_against_faster_baseline_flags_regression(self, tmp_path,
+                                                          capsys):
+        # A baseline claiming near-zero time makes any real run a regression.
+        baseline = str(tmp_path / "baseline.json")
+        write_json(tiny_doc(1e-9), baseline)
+        out_path = str(tmp_path / "merged.json")
+        code = main(["run", "--quick", "--bench", "backward_engine",
+                     "--repeats", "1", "--warmup", "0",
+                     "--baseline", baseline, "--out", out_path])
+        assert code == EXIT_REGRESSION
+        assert "regression" in capsys.readouterr().out
+        merged = load_json(out_path)
+        assert "baseline" in merged and "speedup" in merged
+
+    def test_missing_baseline_file_is_an_error(self, capsys):
+        code = main(["run", "--quick", "--bench", "backward_engine",
+                     "--repeats", "1", "--warmup", "0",
+                     "--baseline", "/nonexistent/baseline.json"])
+        assert code == EXIT_ERROR
+        assert "error" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_improvement_exits_zero(self, tmp_path, capsys):
+        cur, base = str(tmp_path / "c.json"), str(tmp_path / "b.json")
+        write_json(tiny_doc(0.5), cur)
+        write_json(tiny_doc(1.0), base)
+        assert main(["compare", cur, base]) == EXIT_OK
+        assert "improvement" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path):
+        cur, base = str(tmp_path / "c.json"), str(tmp_path / "b.json")
+        write_json(tiny_doc(2.0), cur)
+        write_json(tiny_doc(1.0), base)
+        assert main(["compare", cur, base]) == EXIT_REGRESSION
+
+    def test_threshold_flag_respected(self, tmp_path):
+        cur, base = str(tmp_path / "c.json"), str(tmp_path / "b.json")
+        write_json(tiny_doc(1.4), cur)
+        write_json(tiny_doc(1.0), base)
+        assert main(["compare", cur, base]) == EXIT_REGRESSION
+        assert main(["compare", cur, base, "--threshold", "0.5"]) == EXIT_OK
+
+    def test_invalid_schema_is_an_error(self, tmp_path, capsys):
+        cur, base = str(tmp_path / "c.json"), str(tmp_path / "b.json")
+        write_json(tiny_doc(1.0), cur)
+        with open(base, "w", encoding="utf-8") as handle:
+            json.dump({"schema": "bogus"}, handle)
+        assert main(["compare", cur, base]) == EXIT_ERROR
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_is_an_error(self, tmp_path):
+        cur = str(tmp_path / "c.json")
+        write_json(tiny_doc(1.0), cur)
+        assert main(["compare", cur, str(tmp_path / "absent.json")]) \
+            == EXIT_ERROR
+
+
+class TestCheckedInBenchDocument:
+    def test_bench_engine_json_is_valid_and_shows_speedup(self):
+        """The checked-in BENCH_engine.json must stay schema-valid and keep
+        documenting the >= 2x train-epoch speedup this PR claims."""
+        import os
+        path = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))), "BENCH_engine.json")
+        if not os.path.exists(path):
+            pytest.skip("BENCH_engine.json not generated yet")
+        doc = load_json(path)
+        assert validate_document(doc) == []
+        assert doc["speedup"]["train_epoch_gru"] >= 2.0

@@ -1,0 +1,148 @@
+"""Tests for the repro.bench timing harness and comparison logic."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (BenchComparison, BenchResult, compare_documents,
+                         document, load_json, merged_document, peak_rss_kb,
+                         time_workload, validate_document, write_json)
+from repro.bench.harness import SCHEMA
+
+
+def make_result(name="demo", walls=(0.2, 0.3, 0.4)):
+    return BenchResult(name=name, wall_s=list(walls), rss_peak_kb=1024,
+                       warmup=1, meta={"note": "test"})
+
+
+class TestBenchResult:
+    def test_statistics(self):
+        result = make_result()
+        assert result.repeats == 3
+        assert result.mean_s == pytest.approx(0.3)
+        assert result.min_s == pytest.approx(0.2)
+        assert result.std_s == pytest.approx(float(np.std([0.2, 0.3, 0.4])))
+
+    def test_to_dict_round_trips_samples(self):
+        entry = make_result().to_dict()
+        assert entry["wall_s"] == [0.2, 0.3, 0.4]
+        assert entry["repeats"] == 3
+        assert entry["warmup"] == 1
+        assert entry["rss_peak_kb"] == 1024
+        assert entry["meta"] == {"note": "test"}
+
+
+class TestTimeWorkload:
+    def test_counts_calls(self):
+        calls = []
+
+        def make_workload():
+            return lambda: calls.append(1)
+
+        result = time_workload("counter", make_workload, warmup=2, repeats=3)
+        # 2 warmup + 3 timed calls; setup itself is not a call.
+        assert len(calls) == 5
+        assert result.repeats == 3
+        assert all(w >= 0 for w in result.wall_s)
+
+    def test_setup_outside_timed_region(self):
+        phases = []
+
+        def make_workload():
+            phases.append("setup")
+            return lambda: phases.append("run")
+
+        time_workload("phased", make_workload, warmup=0, repeats=2)
+        assert phases == ["setup", "run", "run"]
+
+    def test_rejects_bad_repeats_and_warmup(self):
+        with pytest.raises(ValueError):
+            time_workload("x", lambda: (lambda: None), repeats=0)
+        with pytest.raises(ValueError):
+            time_workload("x", lambda: (lambda: None), warmup=-1)
+
+    def test_peak_rss_positive(self):
+        assert peak_rss_kb() > 0
+
+
+class TestDocumentSchema:
+    def test_document_is_valid(self):
+        doc = document("engine", [make_result("a"), make_result("b")])
+        assert doc["schema"] == SCHEMA
+        assert set(doc["benches"]) == {"a", "b"}
+        assert validate_document(doc) == []
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        doc = document("engine", [make_result()])
+        path = str(tmp_path / "bench.json")
+        write_json(doc, path)
+        assert load_json(path) == doc
+
+    def test_validate_flags_problems(self):
+        assert validate_document("nope")
+        assert validate_document({"schema": "other/v9"})
+        doc = document("engine", [make_result()])
+        del doc["benches"]["demo"]["mean_s"]
+        assert any("mean_s" in p for p in validate_document(doc))
+
+    def test_validate_rejects_empty_benches(self):
+        doc = document("engine", [])
+        assert any("benches" in p for p in validate_document(doc))
+
+
+class TestComparison:
+    def doc_with_means(self, means):
+        results = [BenchResult(name=n, wall_s=[m], rss_peak_kb=1, warmup=0)
+                   for n, m in means.items()]
+        return document("engine", results)
+
+    def test_statuses(self):
+        baseline = self.doc_with_means({"fast": 1.0, "slow": 1.0,
+                                        "same": 1.0, "gone": 1.0})
+        current = self.doc_with_means({"fast": 0.4, "slow": 2.0,
+                                       "same": 1.1, "fresh": 1.0})
+        report = compare_documents(current, baseline, threshold=0.25)
+        status = {e.name: e.status for e in report.entries}
+        assert status == {"fast": "improvement", "slow": "regression",
+                          "same": "ok", "gone": "missing", "fresh": "new"}
+        assert report.has_regressions
+        assert [e.name for e in report.regressions] == ["slow"]
+        assert report.speedups()["fast"] == pytest.approx(2.5)
+
+    def test_threshold_widens_ok_band(self):
+        baseline = self.doc_with_means({"a": 1.0})
+        current = self.doc_with_means({"a": 1.4})
+        assert compare_documents(current, baseline,
+                                 threshold=0.25).has_regressions
+        assert not compare_documents(current, baseline,
+                                     threshold=0.5).has_regressions
+
+    def test_rejects_invalid_documents(self):
+        good = self.doc_with_means({"a": 1.0})
+        with pytest.raises(ValueError):
+            compare_documents(good, {"schema": "bogus"})
+        with pytest.raises(ValueError):
+            compare_documents(good, good, threshold=-0.1)
+
+    def test_merged_document_embeds_baseline_and_speedups(self):
+        baseline = self.doc_with_means({"a": 1.0})
+        current = self.doc_with_means({"a": 0.5})
+        merged = merged_document(current, baseline, threshold=0.25)
+        assert merged["schema"] == SCHEMA
+        assert merged["speedup"]["a"] == pytest.approx(2.0)
+        assert merged["baseline"]["benches"]["a"]["mean_s"] == 1.0
+        assert merged["threshold"] == 0.25
+        # Merged documents stay valid schema-v1 (extra keys are allowed).
+        assert validate_document(merged) == []
+
+    def test_comparison_render_mentions_every_bench(self):
+        baseline = self.doc_with_means({"a": 1.0, "b": 1.0})
+        current = self.doc_with_means({"a": 0.5, "b": 3.0})
+        text = compare_documents(current, baseline).render()
+        assert "a" in text and "b" in text
+        assert "regression" in text
+
+    def test_speedup_none_when_side_missing(self):
+        entry = BenchComparison(name="x", baseline_s=None, current_s=1.0,
+                                threshold=0.25)
+        assert entry.speedup is None
+        assert entry.status == "new"

@@ -83,3 +83,46 @@ class TestPolynomialApproximation:
     def test_zero_on_dag(self):
         dag = random_dag(5, 0.4, np.random.default_rng(6)).astype(float)
         assert polynomial_h_value(dag, order=10) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestExpmCache:
+    """The matrix-exponential memo that speeds up augmented-Lagrangian loops."""
+
+    def setup_method(self):
+        from repro.causal import clear_expm_cache
+        clear_expm_cache()
+
+    def test_repeat_evaluations_hit_cache(self):
+        from repro.causal import clear_expm_cache, expm_cache_info
+        w = np.random.default_rng(7).normal(size=(6, 6)) * 0.3
+        first = h_value(w)
+        hits0, misses0, _ = expm_cache_info()
+        assert misses0 == 1 and hits0 == 0
+        assert h_value(w) == first
+        value, _grad = h_value_and_grad(w)
+        assert value == pytest.approx(first, abs=1e-12)
+        hits, misses, size = expm_cache_info()
+        assert misses == 1
+        assert hits == 2
+        assert size == 1
+        clear_expm_cache()
+        assert expm_cache_info() == (0, 0, 0)
+
+    def test_cache_keyed_on_content_not_identity(self):
+        from repro.causal import expm_cache_info
+        w = np.random.default_rng(8).normal(size=(4, 4)) * 0.2
+        h_value(w)
+        h_value(w.copy())  # same bytes, different array object
+        hits, misses, _ = expm_cache_info()
+        assert (hits, misses) == (1, 1)
+        h_value(w + 0.01)  # different content must miss
+        hits, misses, _ = expm_cache_info()
+        assert misses == 2
+
+    def test_cached_results_stay_correct_after_mutation(self):
+        w = np.random.default_rng(9).normal(size=(4, 4)) * 0.2
+        before = h_value(w)
+        w[0, 1] += 0.5  # in-place edit: new content hash, no stale reuse
+        after = h_value(w)
+        assert after != before
+        assert after == pytest.approx(h_value(w.copy()), abs=1e-12)

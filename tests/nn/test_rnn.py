@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.nn import GRUCell, LSTMCell, RecurrentLayer, Tensor, gradient_check
+from repro.nn import (GRUCell, LSTMCell, RecurrentLayer, Tensor,
+                      fused_gru_step, fused_lstm_step, gradient_check)
 
 
 @pytest.fixture
@@ -175,3 +176,122 @@ class TestLSTMGradients:
             return (states * states).sum() + last.sum()
 
         assert gradient_check(run, params) < 1e-5
+
+
+class TestFusedGRUGradients:
+    """Finite-difference checks aimed at the fused GRU kernels.
+
+    The hand-derived backward of ``fused_gru_step``/``fused_gru_sequence``
+    replaces a dozen autograd nodes; every input of the fused node gets its
+    own check so a wrong analytic term cannot hide behind the others.
+    """
+
+    def test_gru_cell_hidden_state_gradient(self, rng):
+        cell = GRUCell(3, 4, rng)
+        x = Tensor(rng.normal(size=(2, 3)))
+        h = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        assert gradient_check(lambda a: (cell(x, a) ** 2).sum(), [h]) < 1e-5
+
+    def test_gru_cell_parameter_gradients(self, rng):
+        cell = GRUCell(3, 4, rng)
+        x = Tensor(rng.normal(size=(2, 3)))
+        h = Tensor(rng.normal(size=(2, 4)))
+        params = [cell.w_ih, cell.w_hh, cell.b_ih, cell.b_hh]
+
+        def run(*_params):
+            return (cell(x, h) ** 2).sum()
+
+        assert gradient_check(run, params) < 1e-5
+
+    def test_gru_layer_parameter_gradients(self, rng):
+        layer = RecurrentLayer("gru", 2, 3, rng)
+        x = Tensor(rng.normal(size=(2, 4, 2)))
+        mask = np.array([[True, True, False, True],
+                         [True, False, False, False]])
+        params = [layer.cell.w_ih, layer.cell.w_hh,
+                  layer.cell.b_ih, layer.cell.b_hh]
+
+        def run(*_params):
+            states, last = layer(x, step_mask=mask)
+            return (states * states).sum() + last.sum()
+
+        assert gradient_check(run, params) < 1e-5
+
+    def test_gru_layer_initial_state_gradient(self, rng):
+        layer = RecurrentLayer("gru", 2, 3, rng)
+        x = Tensor(rng.normal(size=(2, 3, 2)))
+        init = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+
+        def run(h0):
+            states, last = layer(x, initial_state=h0)
+            return (states * states).sum() + last.sum()
+
+        assert gradient_check(run, [init]) < 1e-5
+
+
+class TestFusedStepKeepRule:
+    """Direct unit tests of the per-step ``keep`` skip rule.
+
+    Where ``keep`` is 0 the fused step must carry the previous state through
+    unchanged — value AND gradient — implementing the paper's rule that
+    causally-filtered (all-zero) inputs leave the user state untouched.
+    """
+
+    def test_gru_step_keep_zero_passes_state_through(self, rng):
+        cell = GRUCell(3, 4, rng)
+        x = Tensor(rng.normal(size=(2, 3)))
+        h = Tensor(rng.normal(size=(2, 4)))
+        keep = np.array([[1.0], [0.0]])
+        out = fused_gru_step(x, h, cell.w_ih, cell.w_hh,
+                             cell.b_ih, cell.b_hh, keep=keep)
+        active = fused_gru_step(x, h, cell.w_ih, cell.w_hh,
+                                cell.b_ih, cell.b_hh)
+        np.testing.assert_allclose(out.data[0], active.data[0])
+        np.testing.assert_array_equal(out.data[1], h.data[1])
+
+    def test_lstm_step_keep_zero_passes_state_through(self, rng):
+        cell = LSTMCell(3, 4, rng)
+        x = Tensor(rng.normal(size=(2, 3)))
+        h = Tensor(rng.normal(size=(2, 4)))
+        c = Tensor(rng.normal(size=(2, 4)))
+        keep = np.array([[0.0], [1.0]])
+        h_out, c_out = fused_lstm_step(x, h, c, cell.w_ih, cell.w_hh,
+                                       cell.bias, keep=keep)
+        np.testing.assert_array_equal(h_out.data[0], h.data[0])
+        np.testing.assert_array_equal(c_out.data[0], c.data[0])
+
+    def test_gru_step_keep_gradient_routes_to_previous_state(self, rng):
+        cell = GRUCell(3, 4, rng)
+        keep = np.array([[1.0], [0.0]])
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        h = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+
+        def run(a, b):
+            out = fused_gru_step(a, b, cell.w_ih, cell.w_hh,
+                                 cell.b_ih, cell.b_hh, keep=keep)
+            return (out * out).sum()
+
+        assert gradient_check(run, [x, h]) < 1e-5
+        x.grad = None
+        h.grad = None
+        # A skipped row contributes no gradient to its input...
+        out = fused_gru_step(x, h, cell.w_ih, cell.w_hh,
+                             cell.b_ih, cell.b_hh, keep=keep)
+        (out * out).sum().backward()
+        np.testing.assert_array_equal(x.grad[1], np.zeros(3))
+        # ...while its previous-state gradient is exactly the upstream grad.
+        np.testing.assert_allclose(h.grad[1], 2.0 * h.data[1])
+
+    def test_lstm_step_keep_gradient(self, rng):
+        cell = LSTMCell(3, 4, rng)
+        keep = np.array([[0.0], [1.0]])
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        h = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        c = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+
+        def run(a, b, d):
+            h_out, c_out = fused_lstm_step(a, b, d, cell.w_ih, cell.w_hh,
+                                           cell.bias, keep=keep)
+            return (h_out * h_out).sum() + (c_out * c_out).sum()
+
+        assert gradient_check(run, [x, h, c]) < 1e-5

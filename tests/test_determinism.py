@@ -69,6 +69,61 @@ class TestModelDeterminism:
         assert not np.array_equal(scores[0], scores[1])
 
 
+class TestEvaluatorDeterminism:
+    """The batched evaluator must stay bit-reproducible.
+
+    ``Recommender.recommend`` now ranks candidates with vectorized
+    argpartition + stable argsort, and ``evaluate_rankings`` derives all six
+    metrics from one membership pass; neither may introduce run-to-run
+    (or tie-breaking) nondeterminism.
+    """
+
+    def _fitted_model(self, dataset, split):
+        cfg = TrainConfig(embedding_dim=8, hidden_dim=8, num_epochs=1,
+                          batch_size=32, seed=7)
+        model = GRU4Rec(dataset.corpus.num_users, dataset.num_items, cfg)
+        model.fit(split.train)
+        return model
+
+    def test_recommend_deterministic(self):
+        dataset = small_dataset()
+        split = leave_one_out_split(dataset.corpus)
+        model = self._fitted_model(dataset, split)
+        a = model.recommend(split.test[:10], z=5)
+        b = model.recommend(split.test[:10], z=5)
+        assert a == b
+
+    def test_evaluate_model_deterministic(self):
+        from repro.eval import evaluate_model
+        dataset = small_dataset()
+        split = leave_one_out_split(dataset.corpus)
+        model = self._fitted_model(dataset, split)
+        a = evaluate_model(model, split.test[:10], z=5)
+        b = evaluate_model(model, split.test[:10], z=5)
+        assert a.per_user == b.per_user
+
+    def test_tie_scores_ranked_stably(self):
+        """All-equal scores are the worst case for tie-breaking stability."""
+        from repro.eval import evaluate_rankings
+        from repro.models.base import Recommender
+
+        class Constant(Recommender):
+            def __init__(self, num_items):
+                self.num_items = num_items
+
+            def score_samples(self, samples):
+                return np.zeros((len(samples), self.num_items + 1))
+
+        dataset = small_dataset()
+        split = leave_one_out_split(dataset.corpus)
+        model = Constant(dataset.num_items)
+        first = model.recommend(split.test[:4], z=5)
+        assert first == model.recommend(split.test[:4], z=5)
+        result = evaluate_rankings(first, split.test[:4], z=5)
+        repeat = evaluate_rankings(first, split.test[:4], z=5)
+        assert result.per_user == repeat.per_user
+
+
 class TestSolverDeterminism:
     def test_notears_deterministic(self):
         from repro.causal import (notears_linear, random_dag,
