@@ -77,10 +77,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERROR
     doc = harness.document(args.suite, results, quick=args.quick)
+    summary = suites.suite_summary(args.suite, results)
+    if summary:
+        doc["summary"] = summary
     for result in results:
         print(f"{result.name:<24} mean={result.mean_s * 1e3:8.1f}ms  "
               f"min={result.min_s * 1e3:8.1f}ms  (n={result.repeats}, "
               f"warmup={result.warmup})")
+    for base, speedup in sorted(summary.get("speedups", {}).items()):
+        print(f"speedup {base:<16} {speedup:5.2f}x "
+              f"(serial vs workers={summary.get('workers')}, "
+              f"cpus={summary.get('cpus')})")
 
     exit_code = EXIT_OK
     if args.baseline is not None:

@@ -102,10 +102,12 @@ def time_workload(name: str, make_workload: Callable[[], Callable[[], object]],
 
 def environment() -> Dict[str, str]:
     """Interpreter/library versions recorded alongside every run."""
+    from ..parallel import available_cpus
     return {
         "python": sys.version.split()[0],
         "numpy": np.__version__,
         "platform": platform.platform(),
+        "cpus": str(available_cpus()),
     }
 
 

@@ -1,5 +1,13 @@
 """Benchmark suite definitions over the engine's hot paths.
 
+The ``parallel`` suite measures the :mod:`repro.parallel` fan-out layer on
+the three wired call sites — the Table IV runner, the Table III grid
+search, and sharded evaluation — each as a serial/``workers=4`` pair, plus
+a blocking-task pair isolating pure scheduling overlap.  Pair speedups are
+summarised by :func:`suite_summary` and recorded in ``BENCH_parallel.json``
+(compute-bound pairs can only beat serial when the machine actually has
+spare cores; the blocking pair shows overlap on any machine).
+
 The ``engine`` suite covers the loops Algorithm 1 spends its time in:
 
 * ``train_epoch_gru`` — the headline microbench: a full training epoch of a
@@ -20,6 +28,7 @@ measures exactly the same computation on every commit.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -182,6 +191,161 @@ def make_dag_constraint(quick: bool) -> Callable[[], object]:
     return workload
 
 
+# ----------------------------------------------------------------------
+# `parallel` suite — serial vs workers=4 on the wired fan-out sites
+# ----------------------------------------------------------------------
+#: Worker count the parallel-suite benches request (the acceptance shape).
+PARALLEL_BENCH_WORKERS = 4
+
+#: Table IV subset used by the runner pair: cheap but real model fits.
+_RUNNER_LINEUP = ("BPR", "NCF", "GRU4Rec", "STAMP", "NARM", "SASRec")
+
+
+def _parallel_settings(quick: bool):
+    from ..exp.config import BenchmarkSettings
+    return BenchmarkSettings(scale=0.02, num_epochs=2 if quick else 4,
+                             quick=quick)
+
+
+def make_runner_lineup(workers: int, quick: bool) -> Callable[[], object]:
+    """Table IV lineup fan-out: one process per model, shared split."""
+    from ..data.datasets import load_dataset
+    from ..exp.runner import run_models
+    settings = _parallel_settings(quick)
+    names = _RUNNER_LINEUP[:3] if quick else _RUNNER_LINEUP
+    dataset = load_dataset("baby", scale=settings.scale,
+                           seed=settings.data_seed)
+
+    def workload() -> float:
+        runs = run_models(names, dataset, settings, workers=workers)
+        return sum(run.ndcg for run in runs)
+
+    return workload
+
+
+def make_grid_bench(workers: int, quick: bool) -> Callable[[], object]:
+    """Table III grid fan-out: one process per hyper-parameter combo."""
+    from ..data.datasets import load_dataset
+    from ..exp.grid import grid_search_causer
+    settings = _parallel_settings(True)  # Causer fits dominate; stay quick
+    grid = ({"epsilon": [0.2, 0.3]} if quick
+            else {"epsilon": [0.2, 0.3], "eta": [0.5, 1.0]})
+    dataset = load_dataset("baby", scale=settings.scale,
+                           seed=settings.data_seed)
+
+    def workload() -> float:
+        result = grid_search_causer(dataset, grid, settings,
+                                    workers=workers)
+        return result.best[1]
+
+    return workload
+
+
+def make_eval_shards(workers: int, quick: bool) -> Callable[[], object]:
+    """Sharded full-catalog evaluation of a trained GRU4Rec."""
+    from ..data.datasets import load_dataset
+    from ..data.interactions import leave_one_out_split
+    from ..exp.runner import build_model
+    settings = _parallel_settings(True)
+    dataset = load_dataset("baby", scale=settings.scale,
+                           seed=settings.data_seed)
+    split = leave_one_out_split(dataset.corpus)
+    model = build_model("GRU4Rec", dataset, settings)
+    model.fit(split.train)
+    # Tile the held-out set so the eval pass is long enough to shard.
+    samples = list(split.test) * (4 if quick else 16)
+
+    def workload() -> float:
+        result = evaluate_model(model, samples, z=settings.z,
+                                batch_size=64, workers=workers)
+        return result.mean("ndcg")
+
+    return workload
+
+
+def _blocking_task(spec) -> float:
+    """A task dominated by a blocking wait plus a pinch of numpy compute."""
+    duration, seed = spec
+    time.sleep(duration)
+    rng = np.random.default_rng(seed)
+    block = rng.normal(size=(64, 64))
+    return float((block @ block.T).trace())
+
+
+def make_blocking_tasks(workers: int, quick: bool) -> Callable[[], object]:
+    """Pure scheduling overlap: 8 blocking tasks through the pool.
+
+    Unlike the compute-bound pairs this one parallelises on any machine —
+    blocked tasks hold no core — so it isolates the pool's dispatch
+    overhead and overlap behaviour from hardware core counts.
+    """
+    from ..parallel import process_map, unwrap
+    num_tasks, duration = (4, 0.1) if quick else (8, 0.25)
+    specs = [(duration, index) for index in range(num_tasks)]
+
+    def workload() -> float:
+        results = process_map(_blocking_task, specs, workers=workers)
+        return sum(unwrap(results))
+
+    return workload
+
+
+PARALLEL_SUITE: Dict[str, Tuple[BenchFactory, int, Dict[str, object]]] = {
+    "runner_serial": (
+        lambda quick: make_runner_lineup(1, quick), 2,
+        {"site": "exp.runner.run_models", "workers": 1, "headline": True}),
+    "runner_workers4": (
+        lambda quick: make_runner_lineup(PARALLEL_BENCH_WORKERS, quick), 2,
+        {"site": "exp.runner.run_models", "workers": PARALLEL_BENCH_WORKERS,
+         "headline": True}),
+    "grid_serial": (
+        lambda quick: make_grid_bench(1, quick), 2,
+        {"site": "exp.grid.grid_search_causer", "workers": 1}),
+    "grid_workers4": (
+        lambda quick: make_grid_bench(PARALLEL_BENCH_WORKERS, quick), 2,
+        {"site": "exp.grid.grid_search_causer",
+         "workers": PARALLEL_BENCH_WORKERS}),
+    "eval_shard_serial": (
+        lambda quick: make_eval_shards(1, quick), 3,
+        {"site": "eval.evaluator.evaluate_model", "workers": 1}),
+    "eval_shard_workers4": (
+        lambda quick: make_eval_shards(PARALLEL_BENCH_WORKERS, quick), 3,
+        {"site": "eval.evaluator.evaluate_model",
+         "workers": PARALLEL_BENCH_WORKERS}),
+    "blocking_serial": (
+        lambda quick: make_blocking_tasks(1, quick), 3,
+        {"site": "parallel.pool.process_map", "workers": 1,
+         "kind": "blocking-overlap"}),
+    "blocking_workers4": (
+        lambda quick: make_blocking_tasks(PARALLEL_BENCH_WORKERS, quick), 3,
+        {"site": "parallel.pool.process_map",
+         "workers": PARALLEL_BENCH_WORKERS, "kind": "blocking-overlap"}),
+}
+
+
+def suite_summary(suite: str,
+                  results: List[BenchResult]) -> Dict[str, object]:
+    """Derived quantities embedded into the result document.
+
+    For the ``parallel`` suite: ``speedup`` per ``X_serial``/``X_workers4``
+    pair (serial mean / parallel mean) plus the CPU count the numbers were
+    measured on, since compute-bound speedup is core-bounded.
+    """
+    if suite != "parallel":
+        return {}
+    from ..parallel import available_cpus
+    by_name = {result.name: result for result in results}
+    speedups: Dict[str, float] = {}
+    for name, result in by_name.items():
+        if not name.endswith("_serial"):
+            continue
+        partner = by_name.get(name[:-len("_serial")] + "_workers4")
+        if partner is not None and partner.mean_s > 0:
+            speedups[name[:-len("_serial")]] = result.mean_s / partner.mean_s
+    return {"speedups": speedups, "cpus": available_cpus(),
+            "workers": PARALLEL_BENCH_WORKERS}
+
+
 #: name -> (factory, repeats, meta).  Meta records the workload shape so the
 #: JSON is self-describing.
 ENGINE_SUITE: Dict[str, Tuple[BenchFactory, int, Dict[str, object]]] = {
@@ -201,6 +365,7 @@ ENGINE_SUITE: Dict[str, Tuple[BenchFactory, int, Dict[str, object]]] = {
 
 SUITES: Dict[str, Dict[str, Tuple[BenchFactory, int, Dict[str, object]]]] = {
     "engine": ENGINE_SUITE,
+    "parallel": PARALLEL_SUITE,
 }
 
 

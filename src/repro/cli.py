@@ -3,28 +3,34 @@
 Usage::
 
     python -m repro table2
-    python -m repro table4 --scale 0.05 --epochs 12
+    python -m repro table4 --scale 0.05 --epochs 12 --workers 4
     python -m repro fig5 --datasets baby --cells gru
+    python -m repro grid --datasets baby --grid-param epsilon=0.2,0.3
     python -m repro efficiency --quick
 
 Each subcommand prints the same rows/series layout the paper reports.
+``--workers N`` fans the embarrassingly-parallel commands (``table4``,
+``grid``) out across processes via :mod:`repro.parallel`; the default is
+CPU-count aware (capped), ``0``/``1`` force serial, and results are
+bit-identical at any worker count.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .causal import run_identifiability_study
 from .exp import (BenchmarkSettings, efficiency_study,
                   figure3_sequence_lengths, figure4_cluster_sweep,
                   figure5_epsilon_sweep, figure6_temperature_sweep,
-                  figure7_explanation, figure8_case_studies, render_table,
-                  table2_statistics, table4_overall, table5_ablation)
+                  figure7_explanation, figure8_case_studies,
+                  grid_search_causer, render_table, table2_statistics,
+                  table4_overall, table5_ablation)
 
 EXPERIMENTS = ("table2", "fig3", "table4", "fig4", "fig5", "fig6", "table5",
-               "fig7", "fig8", "efficiency", "identifiability")
+               "fig7", "fig8", "efficiency", "identifiability", "grid")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,6 +53,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cells", nargs="+", default=None,
                         choices=["gru", "lstm"],
                         help="restrict sequential backbones")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process count for the parallel commands "
+                             "(table4, grid); default: CPU-count aware "
+                             "capped at 8, 0/1 = serial")
+    parser.add_argument("--grid-param", action="append", default=None,
+                        metavar="KEY=V1,V2,...",
+                        help="(grid) one hyper-parameter and its candidate "
+                             "values, repeatable; e.g. "
+                             "--grid-param epsilon=0.2,0.3")
+    parser.add_argument("--grid-metric", default="ndcg",
+                        help="(grid) validation metric to maximise")
     parser.add_argument("--detect-anomaly", action="store_true",
                         help="run with the autograd anomaly sanitizer: "
                              "NaN/Inf forward values and gradients abort "
@@ -82,7 +99,10 @@ def _dispatch(args: argparse.Namespace, settings: "BenchmarkSettings",
         kwargs = {}
         if args.datasets:
             kwargs["datasets"] = tuple(args.datasets)
-        print(table4_overall(settings, **kwargs).render())
+        print(table4_overall(settings, workers=args.workers,
+                             **kwargs).render())
+    elif args.experiment == "grid":
+        return _run_grid(args, settings)
     elif args.experiment == "fig4":
         print(figure4_cluster_sweep(settings, **sweep_kwargs).render())
     elif args.experiment == "fig5":
@@ -108,6 +128,53 @@ def _dispatch(args: argparse.Namespace, settings: "BenchmarkSettings",
         print(render_table(("samples", "MEC recovery", "mean SHD",
                             "skeleton F1"), rows,
                            title="Theorem 1 — identifiability"))
+    return 0
+
+
+def _parse_grid_value(raw: str):
+    """``"0.3"`` → float, ``"16"`` → int, anything else stays a string."""
+    try:
+        return int(raw)
+    except ValueError:
+        try:
+            return float(raw)
+        except ValueError:
+            return raw
+
+
+def parse_grid_params(entries: Optional[List[str]]) -> Dict[str, list]:
+    """Turn repeated ``KEY=V1,V2,...`` flags into a parameter grid."""
+    if not entries:
+        raise SystemExit("error: grid needs at least one "
+                         "--grid-param KEY=V1,V2,...")
+    grid: Dict[str, list] = {}
+    for entry in entries:
+        key, sep, values = entry.partition("=")
+        if not sep or not key or not values:
+            raise SystemExit(f"error: malformed --grid-param {entry!r}; "
+                             f"expected KEY=V1,V2,...")
+        grid[key] = [_parse_grid_value(v) for v in values.split(",") if v]
+        if not grid[key]:
+            raise SystemExit(f"error: --grid-param {entry!r} lists no values")
+    return grid
+
+
+def _run_grid(args: argparse.Namespace, settings: BenchmarkSettings) -> int:
+    from .data import load_dataset
+    grid = parse_grid_params(args.grid_param)
+    dataset_name = (args.datasets or ["baby"])[0]
+    dataset = load_dataset(dataset_name, scale=settings.scale,
+                           seed=settings.data_seed)
+    result = grid_search_causer(dataset, grid, settings,
+                                metric=args.grid_metric,
+                                workers=args.workers)
+    rows = [(", ".join(f"{k}={v}" for k, v in overrides.items()), score)
+            for overrides, score in result.top(10)]
+    print(render_table(("configuration", f"{args.grid_metric}@{settings.z} (%)"),
+                       rows,
+                       title=f"Table III grid search — {dataset_name}"))
+    best_overrides, best_score = result.best
+    print(f"best: {best_overrides} -> {best_score:.3f}")
     return 0
 
 

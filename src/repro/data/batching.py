@@ -127,6 +127,24 @@ def sample_negatives(batch: PaddedBatch, num_items: int, num_negatives: int,
             break
         redraw = rng.integers(1, num_items + 1, size=int(collisions.sum()))
         negatives[collisions] = redraw
+    else:
+        # Dense targets can leave collisions after every rejection pass
+        # (e.g. positives covering most of a tiny catalog).  Resolve the
+        # leftovers exactly: draw each remaining slot from the row's
+        # explicit complement of the target basket.
+        collisions = (negatives[:, :, :, None] ==
+                      batch.positives[:, None, None, :]).any(axis=-1)
+        if collisions.any():
+            catalog = np.arange(1, num_items + 1)
+            for row in np.unique(np.nonzero(collisions)[0]):
+                allowed = np.setdiff1d(catalog, batch.positives[row])
+                if allowed.size == 0:
+                    raise ValueError(
+                        f"row {row}: every catalog item (num_items="
+                        f"{num_items}) is a positive; no negative exists")
+                row_mask = collisions[row]
+                negatives[row][row_mask] = rng.choice(
+                    allowed, size=int(row_mask.sum()), replace=True)
     batch.negatives = negatives
     return negatives
 
@@ -135,13 +153,22 @@ def iterate_batches(samples: Sequence[EvalSample], batch_size: int,
                     rng: Optional[np.random.Generator] = None,
                     shuffle: bool = True,
                     max_history: Optional[int] = None) -> Iterator[PaddedBatch]:
-    """Yield :class:`PaddedBatch` chunks, optionally shuffled each epoch."""
+    """Yield :class:`PaddedBatch` chunks, optionally shuffled each epoch.
+
+    Shuffling requires an explicit ``rng``: an unseeded fallback generator
+    would silently break run-to-run reproducibility (the repo-wide
+    contract is that every RNG is an explicitly seeded
+    ``np.random.Generator``).
+    """
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
     order = np.arange(len(samples))
     if shuffle:
         if rng is None:
-            rng = np.random.default_rng()
+            raise ValueError(
+                "iterate_batches(shuffle=True) needs an explicit rng so "
+                "epoch order is reproducible; pass "
+                "np.random.default_rng(seed) or use shuffle=False")
         rng.shuffle(order)
     for start in range(0, len(samples), batch_size):
         chunk = [samples[i] for i in order[start:start + batch_size]]

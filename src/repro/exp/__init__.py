@@ -15,7 +15,7 @@ from .experiments import (ABLATION_VARIANTS, EfficiencyResult, Figure3Result,
                           figure5_epsilon_sweep, figure6_temperature_sweep,
                           figure7_explanation, figure8_case_studies,
                           table2_statistics, table4_overall, table5_ablation)
-from .grid import GridSearchResult, grid_search_causer
+from .grid import GridSearchResult, grid_combinations, grid_search_causer
 from .runner import (ALL_MODEL_NAMES, BASELINE_NAMES, CAUSER_NAMES,
                      TABLE4_MODEL_NAMES, RunResult, build_model, run_model,
                      run_models)
@@ -33,7 +33,7 @@ __all__ = [
     "Figure7Result", "figure7_explanation",
     "Figure8Result", "figure8_case_studies",
     "EfficiencyResult", "efficiency_study",
-    "GridSearchResult", "grid_search_causer",
+    "GridSearchResult", "grid_combinations", "grid_search_causer",
     "RunResult", "build_model", "run_model", "run_models",
     "ALL_MODEL_NAMES", "BASELINE_NAMES", "CAUSER_NAMES",
     "TABLE4_MODEL_NAMES",

@@ -21,8 +21,7 @@ from ..data import (DATASET_NAMES, PAPER_STATISTICS, build_explanation_dataset,
 from ..data.synthetic import SyntheticDataset
 from ..eval import (evaluate_explanations, evaluate_model, paired_t_test)
 from .config import BenchmarkSettings
-from .runner import (TABLE4_MODEL_NAMES, RunResult, build_model, run_model,
-                     run_models)
+from .runner import TABLE4_MODEL_NAMES, RunResult, build_model
 from .tables import render_metric_matrix, render_series, render_table
 
 
@@ -125,24 +124,34 @@ class Table4Result:
 
 def table4_overall(settings: Optional[BenchmarkSettings] = None,
                    datasets: Sequence[str] = DATASET_NAMES,
-                   models: Sequence[str] = TABLE4_MODEL_NAMES
-                   ) -> Table4Result:
+                   models: Sequence[str] = TABLE4_MODEL_NAMES,
+                   workers: Optional[int] = 1) -> Table4Result:
     """Run the full Table IV grid: every model on every dataset.
 
     Stars mark Causer cells whose per-user NDCG beats the best baseline
     with p < 0.05 under the paired t-test (the paper's protocol).
+
+    ``workers`` > 1 fans the (model, dataset) cells out one process per
+    cell through :mod:`repro.parallel` (``None`` → CPU-aware default,
+    ``0``/``1`` → serial).  Datasets are generated and split once here in
+    the parent; cell results are grouped back dataset-major, model-minor —
+    the serial iteration order — so the table is identical either way.
     """
+    from ..parallel import run_table_cells
     settings = settings or BenchmarkSettings()
     f1: Dict[str, Dict[str, float]] = {m: {} for m in models}
     ndcg: Dict[str, Dict[str, float]] = {m: {} for m in models}
     stars: Dict[str, Dict[str, str]] = {m: {} for m in models}
-    all_runs: List[RunResult] = []
+    loaded = []
     for name in datasets:
         dataset = load_dataset(name, scale=settings.scale,
                                seed=settings.data_seed)
-        runs = run_models(models, dataset, settings)
-        all_runs.extend(runs)
-        by_name = {run.model_name: run for run in runs}
+        loaded.append((name, dataset, leave_one_out_split(dataset.corpus)))
+    cells = [(model, dataset, split)
+             for _, dataset, split in loaded for model in models]
+    all_runs = run_table_cells(cells, settings, workers=workers)
+    for block, (name, _, _) in enumerate(loaded):
+        runs = all_runs[block * len(models):(block + 1) * len(models)]
         best_base = max((r for r in runs
                          if not r.model_name.startswith("Causer")),
                         key=lambda r: r.ndcg)

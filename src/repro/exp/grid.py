@@ -22,29 +22,58 @@ class GridSearchResult:
 
     @property
     def best(self) -> Tuple[Dict, float]:
+        if not self.scores:
+            grid = {key: list(values)
+                    for key, values in self.parameter_grid.items()}
+            raise ValueError(
+                f"grid search over {grid!r} produced no scores — "
+                "the parameter grid was empty or no combination was "
+                "evaluated, so there is no best configuration")
         return max(self.scores, key=lambda pair: pair[1])
 
     def top(self, k: int = 5) -> List[Tuple[Dict, float]]:
+        if not self.scores:
+            return []
         return sorted(self.scores, key=lambda pair: -pair[1])[:k]
+
+
+def grid_combinations(parameter_grid: Dict[str, Sequence]) -> List[Dict]:
+    """The grid's full cross-product as override dicts, in itertools order."""
+    keys = list(parameter_grid)
+    return [dict(zip(keys, combo))
+            for combo in itertools.product(*(parameter_grid[k]
+                                             for k in keys))]
 
 
 def grid_search_causer(dataset: SyntheticDataset,
                        parameter_grid: Dict[str, Sequence],
                        settings: Optional[BenchmarkSettings] = None,
                        metric: str = "ndcg",
-                       validation: bool = True) -> GridSearchResult:
+                       validation: bool = True,
+                       workers: Optional[int] = 1) -> GridSearchResult:
     """Exhaustive grid search for Causer, scored on the validation split.
 
     ``parameter_grid`` maps :class:`~repro.core.config.CauserConfig` field
     names to candidate values, e.g. ``{"epsilon": [0.1, 0.3], "eta": [0.5]}``.
+
+    ``workers`` > 1 trains one hyper-parameter combo per process through
+    :mod:`repro.parallel` (``None`` → CPU-aware default, ``0``/``1`` →
+    serial).  The split is computed once here and shipped to workers, and
+    ``scores`` keeps the serial combo order, so serial and parallel runs
+    return identical results.
     """
     settings = settings or BenchmarkSettings()
     split = leave_one_out_split(dataset.corpus)
     eval_samples = split.validation if validation else split.test
     result = GridSearchResult(parameter_grid=dict(parameter_grid))
-    keys = list(parameter_grid)
-    for combo in itertools.product(*(parameter_grid[k] for k in keys)):
-        overrides = dict(zip(keys, combo))
+    combos = grid_combinations(parameter_grid)
+    from ..parallel import grid_scores_parallel, resolve_workers
+    if resolve_workers(workers, len(combos)) > 1:
+        result.scores.extend(grid_scores_parallel(
+            dataset, combos, settings, split.train, eval_samples, metric,
+            workers=workers))
+        return result
+    for overrides in combos:
         config = settings.causer_config(dataset.name, **overrides)
         model = Causer(dataset.corpus.num_users, dataset.num_items,
                        dataset.features, config)

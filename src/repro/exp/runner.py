@@ -96,8 +96,19 @@ def run_model(name: str, dataset: SyntheticDataset,
 
 
 def run_models(names: Sequence[str], dataset: SyntheticDataset,
-               settings: BenchmarkSettings) -> List[RunResult]:
-    """Run a list of models on the same dataset/split."""
+               settings: BenchmarkSettings,
+               workers: Optional[int] = 1) -> List[RunResult]:
+    """Run a list of models on the same dataset/split.
+
+    ``workers`` > 1 fans the lineup out one process per model through
+    :mod:`repro.parallel` (``None`` → CPU-aware default, ``0``/``1`` →
+    serial, the library default); results are identical either way and
+    always in name order.
+    """
+    from ..parallel import resolve_workers, run_models_parallel
     split = leave_one_out_split(dataset.corpus)
+    if resolve_workers(workers, len(names)) > 1:
+        return run_models_parallel(names, dataset, settings,
+                                   workers=workers, split=split)
     return [run_model(name, dataset, settings, split=split)
             for name in names]

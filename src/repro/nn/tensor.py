@@ -209,6 +209,25 @@ class Tensor:
         self.grad = None
 
     # ------------------------------------------------------------------
+    # Pickling (process-boundary transport)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle data/grad/flags only — a pickled tensor is detached.
+
+        ``_backward`` closures and parent links cannot cross a process
+        boundary; dropping them mirrors :meth:`detach` semantics, which is
+        exactly what `repro.parallel` needs when shipping trained models
+        to evaluation workers.
+        """
+        return (self.data, self.grad, self.requires_grad, self.name)
+
+    def __setstate__(self, state) -> None:
+        self.data, self.grad, self.requires_grad, self.name = state
+        self._backward = None
+        self._parents = ()
+        self._op_meta = None
+
+    # ------------------------------------------------------------------
     # Graph construction
     # ------------------------------------------------------------------
     @staticmethod

@@ -1,0 +1,25 @@
+"""`repro.parallel` — deterministic multi-process execution layer.
+
+A dependency-free (stdlib ``multiprocessing`` + numpy) process pool with
+per-task deterministic seeding, BLAS thread pinning, bounded timeouts with
+retry, structured failure capture and an automatic serial fallback —
+plus adapters that wire the repo's embarrassingly-parallel outer loops
+(Table IV lineup, Table III grid search, sharded evaluation, multi-seed
+significance runs) through it.  See ``docs/PARALLEL.md``.
+"""
+
+from .adapters import (evaluate_model_sharded, grid_scores_parallel,
+                       map_seeds, run_models_parallel, run_table_cells,
+                       shard_batch_ranges)
+from .pool import (BLAS_ENV_VARS, DEFAULT_WORKER_CAP, ProcessMap, TaskResult,
+                   WorkerError, available_cpus, default_context,
+                   default_workers, process_map, resolve_workers,
+                   task_seed_sequence, unwrap)
+
+__all__ = [
+    "BLAS_ENV_VARS", "DEFAULT_WORKER_CAP", "ProcessMap", "TaskResult",
+    "WorkerError", "available_cpus", "default_context", "default_workers",
+    "evaluate_model_sharded", "grid_scores_parallel", "map_seeds",
+    "process_map", "resolve_workers", "run_models_parallel",
+    "run_table_cells", "shard_batch_ranges", "task_seed_sequence", "unwrap",
+]

@@ -89,6 +89,33 @@ class TestSampleNegatives:
             sample_negatives(batch, num_items=1, num_negatives=1,
                              rng=np.random.default_rng(0))
 
+    def test_tiny_catalog_resolved_exactly(self):
+        # Positives cover 3 of 4 items, so rejection sampling alone would
+        # almost surely leave collisions after 8 passes; the exact
+        # complement fallback must fill every slot with the only legal item.
+        batch = pad_samples([sample(0, [[4]], [1, 2, 3])])
+        for seed in range(20):
+            neg = sample_negatives(batch, num_items=4, num_negatives=6,
+                                   rng=np.random.default_rng(seed))
+            assert (neg == 4).all()
+
+    def test_tiny_catalog_mixed_rows(self):
+        # One dense row (single legal negative) next to a sparse row.
+        batch = pad_samples([sample(0, [[4]], [1, 2, 3]),
+                             sample(1, [[1]], [2])])
+        neg = sample_negatives(batch, num_items=4, num_negatives=5,
+                               rng=np.random.default_rng(7))
+        assert (neg[0] == 4).all()
+        collisions = (neg[:, :, :, None] ==
+                      batch.positives[:, None, None, :]).any()
+        assert not collisions
+
+    def test_all_items_positive_raises(self):
+        batch = pad_samples([sample(0, [[1]], [1, 2])])
+        with pytest.raises(ValueError, match="no negative exists"):
+            sample_negatives(batch, num_items=2, num_negatives=1,
+                             rng=np.random.default_rng(0))
+
 
 class TestIterateBatches:
     def test_covers_all_samples(self):
@@ -107,6 +134,21 @@ class TestIterateBatches:
     def test_invalid_batch_size(self):
         with pytest.raises(ValueError):
             list(iterate_batches([sample(0, [[1]], [2])], 0))
+
+    def test_shuffle_without_rng_rejected(self):
+        samples = [sample(i, [[1]], [2]) for i in range(4)]
+        with pytest.raises(ValueError, match="explicit rng"):
+            list(iterate_batches(samples, 2))
+
+    def test_same_rng_seed_same_order(self):
+        samples = [sample(i, [[1]], [2]) for i in range(9)]
+        orders = [
+            [u for b in iterate_batches(samples, 4,
+                                        np.random.default_rng(5))
+             for u in b.users.tolist()]
+            for _ in range(2)
+        ]
+        assert orders[0] == orders[1]
 
 
 @settings(max_examples=30, deadline=None)

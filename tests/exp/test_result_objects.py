@@ -6,6 +6,31 @@ import pytest
 from repro.exp.experiments import (EfficiencyResult, Figure3Result,
                                    Figure7Result, SweepResult, Table2Result,
                                    Table4Result, Table5Result)
+from repro.exp.grid import GridSearchResult, grid_combinations
+
+
+class TestGridSearchResult:
+    def test_best_on_empty_scores_names_the_grid(self):
+        result = GridSearchResult(parameter_grid={"epsilon": [0.1, 0.3]})
+        with pytest.raises(ValueError, match=r"epsilon.*no scores"):
+            result.best
+
+    def test_top_on_empty_scores_is_empty_list(self):
+        result = GridSearchResult(parameter_grid={"epsilon": []})
+        assert result.top(5) == []
+
+    def test_top_sorted_descending(self):
+        result = GridSearchResult(
+            parameter_grid={"epsilon": [0.1, 0.2, 0.3]},
+            scores=[({"epsilon": 0.1}, 1.0), ({"epsilon": 0.2}, 3.0),
+                    ({"epsilon": 0.3}, 2.0)])
+        assert [s for _, s in result.top(2)] == [3.0, 2.0]
+        assert result.best == ({"epsilon": 0.2}, 3.0)
+
+    def test_grid_combinations_product_order(self):
+        combos = grid_combinations({"a": [1, 2], "b": ["x"]})
+        assert combos == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+        assert grid_combinations({"a": []}) == []
 
 
 class TestTable4Result:

@@ -1,0 +1,56 @@
+"""Module-level task functions for the pool tests.
+
+They live in a real importable module (not the test files) so they pickle
+by qualified name under every start method, including ``spawn``.
+"""
+
+import os
+import time
+
+import numpy as np
+
+
+def square(x):
+    return x * x
+
+
+def seeded_normal(spec, seed_seq):
+    """Draw ``spec`` numbers from the task's derived seed sequence."""
+    rng = np.random.default_rng(seed_seq)
+    return [float(v) for v in rng.normal(size=spec)]
+
+
+def explode_on_two(x):
+    if x == 2:
+        raise ValueError("task exploded on purpose")
+    return x
+
+
+def sleep_for(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def succeed_on_retry(path):
+    """Fail on the first attempt; succeed once a marker file exists."""
+    if os.path.exists(path):
+        return "second attempt"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("attempt 1\n")
+    raise RuntimeError("flaky first attempt")
+
+
+def nested_map(values):
+    """A task that itself fans out — must fall back to serial and work."""
+    from repro.parallel import process_map, unwrap
+    return unwrap(process_map(square, values, workers=4))
+
+
+def read_blas_env(_):
+    return {var: os.environ.get(var)
+            for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS")}
+
+
+def hard_exit(_):
+    """Kill the worker process without a traceback (simulated crash)."""
+    os._exit(17)

@@ -1,0 +1,142 @@
+"""Pool-core tests: determinism, fallback, failure capture, timeouts."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (DEFAULT_WORKER_CAP, ProcessMap, WorkerError,
+                            available_cpus, default_workers, process_map,
+                            resolve_workers, task_seed_sequence, unwrap)
+
+from . import tasks
+
+
+class TestWorkerResolution:
+    def test_serial_for_single_task(self):
+        assert resolve_workers(8, 1) == 1
+
+    def test_zero_and_one_force_serial(self):
+        assert resolve_workers(0, 10) == 1
+        assert resolve_workers(1, 10) == 1
+
+    def test_clamped_to_task_count(self):
+        assert resolve_workers(8, 3) == 3
+
+    def test_default_workers_capped(self):
+        assert 1 <= default_workers() <= DEFAULT_WORKER_CAP
+        assert default_workers(cap=2) <= 2
+
+    def test_available_cpus_positive(self):
+        assert available_cpus() >= 1
+
+
+class TestSeedDerivation:
+    def test_matches_seedsequence_spawn(self):
+        spawned = np.random.SeedSequence(7).spawn(5)
+        for index in range(5):
+            derived = task_seed_sequence(7, index)
+            assert (derived.generate_state(4).tolist()
+                    == spawned[index].generate_state(4).tolist())
+
+    def test_independent_of_worker_count(self):
+        serial = unwrap(process_map(tasks.seeded_normal, [3] * 6,
+                                    workers=1, seed=123))
+        fanned = unwrap(process_map(tasks.seeded_normal, [3] * 6,
+                                    workers=3, seed=123))
+        assert serial == fanned  # bit-identical floats, not approx
+
+    def test_distinct_per_task(self):
+        draws = unwrap(process_map(tasks.seeded_normal, [2] * 4,
+                                   workers=1, seed=0))
+        assert len({tuple(d) for d in draws}) == 4
+
+
+class TestMapping:
+    def test_results_in_spec_order(self):
+        results = process_map(tasks.square, list(range(10)), workers=3)
+        assert [r.index for r in results] == list(range(10))
+        assert unwrap(results) == [x * x for x in range(10)]
+
+    def test_empty_specs(self):
+        assert process_map(tasks.square, [], workers=4) == []
+
+    def test_serial_fallback_matches(self):
+        serial = unwrap(process_map(tasks.square, [1, 2, 3], workers=1))
+        assert serial == [1, 4, 9]
+
+    def test_spawn_context(self):
+        results = process_map(tasks.square, [4, 5], workers=2,
+                              context="spawn")
+        assert unwrap(results) == [16, 25]
+
+    def test_nested_region_falls_back_to_serial(self):
+        results = process_map(tasks.nested_map, [[1, 2], [3]], workers=2)
+        assert unwrap(results) == [[1, 4], [9]]
+
+    def test_unpicklable_spec_fails_fast(self):
+        with pytest.raises(TypeError, match="not picklable"):
+            process_map(tasks.square, [lambda: None], workers=2)
+
+    def test_workers_pin_blas_env(self):
+        envs = unwrap(process_map(tasks.read_blas_env, [None, None],
+                                  workers=2))
+        for worker_env in envs:
+            assert worker_env["OMP_NUM_THREADS"] == "1"
+            assert worker_env["OPENBLAS_NUM_THREADS"] == "1"
+
+
+class TestFailureCapture:
+    def test_traceback_captured_without_killing_run(self):
+        results = process_map(tasks.explode_on_two, [0, 1, 2, 3], workers=2,
+                              retries=0)
+        oks = [r for r in results if r.ok]
+        bad = results[2]
+        assert [r.value for r in oks] == [0, 1, 3]
+        assert not bad.ok
+        assert "ValueError" in bad.error
+        assert "task exploded on purpose" in bad.error
+
+    def test_serial_capture_is_identical_in_shape(self):
+        results = process_map(tasks.explode_on_two, [0, 1, 2, 3], workers=1)
+        assert [r.ok for r in results] == [True, True, False, True]
+        assert "task exploded on purpose" in results[2].error
+
+    def test_unwrap_raises_worker_error(self):
+        results = process_map(tasks.explode_on_two, [2], workers=1)
+        with pytest.raises(WorkerError, match="exploded on purpose"):
+            unwrap(results, context="demo task")
+
+    def test_retry_once_recovers_flaky_task(self, tmp_path):
+        marker = str(tmp_path / "attempt.marker")
+        results = process_map(tasks.succeed_on_retry, [marker, marker],
+                              workers=2, retries=1)
+        assert all(r.ok for r in results)
+        assert any(r.attempts == 2 for r in results)
+
+    def test_worker_hard_crash_is_reported(self):
+        results = process_map(tasks.hard_exit, [None, None], workers=2,
+                              retries=0)
+        assert all(not r.ok for r in results)
+        assert any("died" in r.error for r in results)
+
+    def test_retries_validation(self):
+        with pytest.raises(ValueError):
+            ProcessMap(2, retries=-1)
+        with pytest.raises(ValueError):
+            ProcessMap(2, timeout=0.0)
+
+
+class TestTimeout:
+    def test_timeout_kills_task_but_not_run(self):
+        results = process_map(tasks.sleep_for, [0.01, 30.0], workers=2,
+                              timeout=0.5, retries=0)
+        assert results[0].ok and results[0].value == 0.01
+        assert not results[1].ok
+        assert results[1].timed_out
+        assert "timed out" in results[1].error
+
+    def test_timeout_retry_then_fail(self):
+        results = process_map(tasks.sleep_for, [0.01, 30.0], workers=2,
+                              timeout=0.4, retries=1)
+        assert not results[1].ok
+        assert results[1].timed_out
+        assert results[1].attempts == 2
