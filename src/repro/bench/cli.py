@@ -85,9 +85,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"min={result.min_s * 1e3:8.1f}ms  (n={result.repeats}, "
               f"warmup={result.warmup})")
     for base, speedup in sorted(summary.get("speedups", {}).items()):
-        print(f"speedup {base:<16} {speedup:5.2f}x "
-              f"(serial vs workers={summary.get('workers')}, "
-              f"cpus={summary.get('cpus')})")
+        detail = ""
+        if summary.get("workers") is not None:
+            detail = (f" (serial vs workers={summary.get('workers')}, "
+                      f"cpus={summary.get('cpus')})")
+        print(f"speedup {base:<16} {speedup:5.2f}x{detail}")
 
     exit_code = EXIT_OK
     if args.baseline is not None:

@@ -8,6 +8,14 @@ summarised by :func:`suite_summary` and recorded in ``BENCH_parallel.json``
 (compute-bound pairs can only beat serial when the machine actually has
 spare cores; the blocking pair shows overlap on any machine).
 
+The ``serve`` suite measures the online inference path (:mod:`repro.serve`)
+on a small trained Causer: un-batched single-request latency through the
+full route stack, micro-batched throughput under 8 concurrent submitters,
+and the ``score_incremental``/``score_replay`` pair quantifying what the
+incrementally-maintained session state saves over replaying the full
+history per request (summarised as ``incremental_vs_replay`` and recorded
+in ``BENCH_serve.json``).
+
 The ``engine`` suite covers the loops Algorithm 1 spends its time in:
 
 * ``train_epoch_gru`` — the headline microbench: a full training epoch of a
@@ -290,6 +298,135 @@ def make_blocking_tasks(workers: int, quick: bool) -> Callable[[], object]:
     return workload
 
 
+# ----------------------------------------------------------------------
+# `serve` suite — the online inference path (repro.serve)
+# ----------------------------------------------------------------------
+
+def _serve_model(quick: bool):
+    """A small trained Causer shared by the serve benches (untimed setup)."""
+    from ..core import Causer, CauserConfig
+    rng = np.random.default_rng(17)
+    num_users, num_items = 32, 120
+    features = rng.normal(size=(num_items + 1, 12))
+    cfg = CauserConfig(num_clusters=6, embedding_dim=16, hidden_dim=16,
+                       num_epochs=1 if quick else 2, batch_size=32,
+                       max_history=10, epsilon=0.1, seed=3)
+    model = Causer(num_users, num_items, features, cfg)
+    samples = [EvalSample(
+        user_id=u,
+        history=tuple((int(i),) for i in
+                      rng.integers(1, num_items + 1, size=8)),
+        target=(int(rng.integers(1, num_items + 1)),))
+        for u in range(num_users)]
+    model.fit_samples(samples)
+    return model
+
+
+def _serve_app(model, max_wait_ms: float, quick: bool):
+    """ServeApp + in-process client with per-user sessions preloaded."""
+    from ..serve import InProcessClient, ServeApp
+    app = ServeApp(max_wait_ms=max_wait_ms)
+    app.install_model(model)
+    client = InProcessClient(app)
+    rng = np.random.default_rng(23)
+    num_users = 16 if quick else 32
+    for user in range(num_users):
+        for _ in range(6):
+            basket = [int(i) for i in
+                      rng.integers(1, model.num_items + 1, size=2)]
+            client.post("/v1/events", {"user_id": user, "basket": basket})
+    return client, num_users
+
+
+def make_serve_request(quick: bool) -> Callable[[], object]:
+    """Sequential single-request latency through the full route stack.
+
+    ``max_wait_ms=0`` so a lone request never lingers in the batcher — this
+    measures the un-batched request path end to end (JSON round-trip,
+    session snapshot, incremental head, ranking)."""
+    client, num_users = _serve_app(_serve_model(quick), 0.0, quick)
+
+    def workload() -> float:
+        total = 0
+        for user in range(num_users):
+            status, body = client.post("/v1/recommend", {"user_id": user})
+            assert status == 200
+            total += body["items"][0]
+        return float(total)
+
+    return workload
+
+
+def make_serve_throughput(quick: bool) -> Callable[[], object]:
+    """Concurrent requests coalesced by the micro-batcher (8 submitters)."""
+    from concurrent.futures import ThreadPoolExecutor
+    client, num_users = _serve_app(_serve_model(quick), 2.0, quick)
+    rounds = 2 if quick else 4
+    users = [u for _ in range(rounds) for u in range(num_users)]
+
+    def one(user: int) -> int:
+        status, body = client.post("/v1/recommend", {"user_id": user})
+        assert status == 200
+        return body["items"][0]
+
+    def workload() -> float:
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            return float(sum(pool.map(one, users)))
+
+    return workload
+
+
+def make_serve_score(mode: str, quick: bool) -> Callable[[], object]:
+    """Score prebuilt sessions: incremental head vs full history replay.
+
+    Both score the *same* sessions through :func:`repro.serve.scoring.
+    score_views`; ``incremental`` reuses the per-event recurrent states the
+    session store already advanced, ``replay`` re-runs the whole history
+    through the model's offline batch scorer — the pair quantifies what the
+    O(1)-per-event state maintenance buys at request time.
+    """
+    from ..serve import SessionStore, build_artifacts
+    from ..serve.registry import ServingArtifacts
+    from ..serve.scoring import score_views
+    model = _serve_model(quick)
+    artifacts = build_artifacts(model, generation=1)
+    replay = ServingArtifacts(
+        generation=1, path=None, model=model, model_class="Causer",
+        num_users=model.num_users, num_items=model.num_items,
+        max_history=model.config.max_history, mode="replay")
+    store = SessionStore()
+    rng = np.random.default_rng(29)
+    num_users = 16 if quick else 32
+    for user in range(num_users):
+        for _ in range(model.config.max_history):
+            basket = tuple(int(i) for i in
+                           rng.integers(1, model.num_items + 1, size=2))
+            store.append_event(user, basket, artifacts)
+    views = [store.view(user, artifacts) for user in range(num_users)]
+    target = artifacts if mode == "incremental" else replay
+
+    def workload() -> float:
+        return float(score_views(target, views).sum())
+
+    return workload
+
+
+SERVE_SUITE: Dict[str, Tuple[BenchFactory, int, Dict[str, object]]] = {
+    "request_latency": (
+        make_serve_request, 3,
+        {"endpoint": "/v1/recommend", "batched": False, "headline": True}),
+    "batched_throughput": (
+        make_serve_throughput, 3,
+        {"endpoint": "/v1/recommend", "batched": True, "submitters": 8}),
+    "score_incremental": (
+        lambda quick: make_serve_score("incremental", quick), 5,
+        {"scorer": "incremental", "model": "Causer"}),
+    "score_replay": (
+        lambda quick: make_serve_score("replay", quick), 5,
+        {"scorer": "replay", "model": "Causer"}),
+}
+
+
 PARALLEL_SUITE: Dict[str, Tuple[BenchFactory, int, Dict[str, object]]] = {
     "runner_serial": (
         lambda quick: make_runner_lineup(1, quick), 2,
@@ -330,7 +467,19 @@ def suite_summary(suite: str,
     For the ``parallel`` suite: ``speedup`` per ``X_serial``/``X_workers4``
     pair (serial mean / parallel mean) plus the CPU count the numbers were
     measured on, since compute-bound speedup is core-bounded.
+
+    For the ``serve`` suite: the ``score_replay``/``score_incremental``
+    speedup — how much the incrementally-maintained session state saves
+    over replaying the full history at request time.
     """
+    if suite == "serve":
+        by_name = {result.name: result for result in results}
+        incremental = by_name.get("score_incremental")
+        replay = by_name.get("score_replay")
+        if incremental is None or replay is None or incremental.mean_s <= 0:
+            return {}
+        return {"speedups": {
+            "incremental_vs_replay": replay.mean_s / incremental.mean_s}}
     if suite != "parallel":
         return {}
     from ..parallel import available_cpus
@@ -366,6 +515,7 @@ ENGINE_SUITE: Dict[str, Tuple[BenchFactory, int, Dict[str, object]]] = {
 SUITES: Dict[str, Dict[str, Tuple[BenchFactory, int, Dict[str, object]]]] = {
     "engine": ENGINE_SUITE,
     "parallel": PARALLEL_SUITE,
+    "serve": SERVE_SUITE,
 }
 
 

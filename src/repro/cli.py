@@ -7,6 +7,9 @@ Usage::
     python -m repro fig5 --datasets baby --cells gru
     python -m repro grid --datasets baby --grid-param epsilon=0.2,0.3
     python -m repro efficiency --quick
+    python -m repro train --model "Causer (GRU)" --save-model causer.npz
+    python -m repro eval --load-model causer.npz
+    python -m repro serve --checkpoint causer.npz --port 8080
 
 Each subcommand prints the same rows/series layout the paper reports.
 ``--workers N`` fans the embarrassingly-parallel commands (``table4``,
@@ -30,7 +33,8 @@ from .exp import (BenchmarkSettings, efficiency_study,
                   table4_overall, table5_ablation)
 
 EXPERIMENTS = ("table2", "fig3", "table4", "fig4", "fig5", "fig6", "table5",
-               "fig7", "fig8", "efficiency", "identifiability", "grid")
+               "fig7", "fig8", "efficiency", "identifiability", "grid",
+               "train", "eval", "serve")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,6 +68,29 @@ def build_parser() -> argparse.ArgumentParser:
                              "--grid-param epsilon=0.2,0.3")
     parser.add_argument("--grid-metric", default="ndcg",
                         help="(grid) validation metric to maximise")
+    parser.add_argument("--model", default="Causer (GRU)",
+                        help="(train) Table IV model name to train")
+    parser.add_argument("--save-model", metavar="PATH", default=None,
+                        help="(train) write the trained model to PATH as a "
+                             ".npz checkpoint (repro.io.save_model)")
+    parser.add_argument("--load-model", metavar="PATH", default=None,
+                        help="(eval) evaluate a saved checkpoint instead of "
+                             "training")
+    parser.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="(serve) checkpoint to serve; omit to start "
+                             "degraded (popularity fallback) and hot-load "
+                             "later")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="(serve) bind address")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="(serve) bind port (0 = ephemeral)")
+    parser.add_argument("--max-batch-size", type=int, default=32,
+                        help="(serve) micro-batch size cap")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="(serve) max time a request waits to be "
+                             "batched with others")
+    parser.add_argument("--session-capacity", type=int, default=10_000,
+                        help="(serve) LRU capacity of the session store")
     parser.add_argument("--detect-anomaly", action="store_true",
                         help="run with the autograd anomaly sanitizer: "
                              "NaN/Inf forward values and gradients abort "
@@ -121,6 +148,12 @@ def _dispatch(args: argparse.Namespace, settings: "BenchmarkSettings",
         print(figure8_case_studies(settings).render())
     elif args.experiment == "efficiency":
         print(efficiency_study(settings).render())
+    elif args.experiment == "train":
+        return _run_train(args, settings)
+    elif args.experiment == "eval":
+        return _run_eval(args, settings)
+    elif args.experiment == "serve":
+        return _run_serve(args)
     elif args.experiment == "identifiability":
         reports = run_identifiability_study()
         rows = [(r.num_samples, r.mec_recovery_rate, r.mean_shd,
@@ -157,6 +190,78 @@ def parse_grid_params(entries: Optional[List[str]]) -> Dict[str, list]:
         if not grid[key]:
             raise SystemExit(f"error: --grid-param {entry!r} lists no values")
     return grid
+
+
+def _dataset_and_split(args: argparse.Namespace,
+                       settings: "BenchmarkSettings"):
+    from .data import load_dataset
+    from .data.interactions import leave_one_out_split
+    dataset = load_dataset((args.datasets or ["baby"])[0],
+                           scale=settings.scale, seed=settings.data_seed)
+    return dataset, leave_one_out_split(dataset.corpus)
+
+
+def _print_eval(model_name: str, dataset_name: str, result, z: int) -> None:
+    print(f"{model_name} on {dataset_name}: "
+          f"F1@{z}={100.0 * result.mean('f1'):.3f}% "
+          f"NDCG@{z}={100.0 * result.mean('ndcg'):.3f}%")
+
+
+def _run_train(args: argparse.Namespace, settings: "BenchmarkSettings") -> int:
+    """Train one model, report held-out metrics, optionally checkpoint it."""
+    from .eval import evaluate_model
+    from .exp.runner import build_model
+    dataset, split = _dataset_and_split(args, settings)
+    model = build_model(args.model, dataset, settings)
+    model.fit(split.train)
+    result = evaluate_model(model, split.test, z=settings.z)
+    _print_eval(args.model, dataset.name, result, settings.z)
+    if args.save_model:
+        from .io import save_model
+        save_model(model, args.save_model)
+        print(f"saved checkpoint: {args.save_model}")
+    return 0
+
+
+def _run_eval(args: argparse.Namespace, settings: "BenchmarkSettings") -> int:
+    """Evaluation-only run: score a saved checkpoint on a held-out split."""
+    if not args.load_model:
+        raise SystemExit("error: eval needs --load-model PATH")
+    from .eval import evaluate_model
+    from .io import load_model
+    model = load_model(args.load_model)
+    dataset, split = _dataset_and_split(args, settings)
+    result = evaluate_model(model, split.test, z=settings.z)
+    _print_eval(f"{type(model).__name__} [{args.load_model}]",
+                dataset.name, result, settings.z)
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP serving layer (see :mod:`repro.serve`)."""
+    from .serve import ServeApp, ServeServer
+    app = ServeApp(session_capacity=args.session_capacity,
+                   max_batch_size=args.max_batch_size,
+                   max_wait_ms=args.max_wait_ms)
+    if args.checkpoint:
+        artifacts = app.load_checkpoint(args.checkpoint)
+        print(f"loaded {artifacts.model_class} from {args.checkpoint} "
+              f"(scorer: {artifacts.mode}, generation {artifacts.generation})")
+    else:
+        print("no --checkpoint given: serving degraded "
+              "(popularity fallback) until one is installed")
+    server = ServeServer(app, host=args.host, port=args.port)
+    host, port = server.address
+    print(f"serving on http://{host}:{port}  "
+          f"(POST /v1/recommend /v1/events /v1/explain, "
+          f"GET /healthz /metrics)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
 
 
 def _run_grid(args: argparse.Namespace, settings: BenchmarkSettings) -> int:

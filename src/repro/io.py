@@ -1,8 +1,11 @@
 """Model persistence: save/load trained models to a single ``.npz`` file.
 
 The archive stores every named parameter plus a JSON header with the model
-class, config dataclass fields and vocabulary sizes, so a model can be
-restored for inference without retraining.
+class, a format version, config dataclass fields, vocabulary sizes and any
+extra constructor arguments, so a model can be restored for inference
+without retraining.  Every class in :mod:`repro.models` (and the Causer
+core) is registered here; the serving registry
+(:mod:`repro.serve.registry`) loads checkpoints through this module.
 """
 
 from __future__ import annotations
@@ -10,32 +13,58 @@ from __future__ import annotations
 import dataclasses
 import json
 import pathlib
-from typing import Union
+from typing import Callable, Dict, Union
 
 import numpy as np
 
 from .core import Causer, CauserConfig
-from .models import (GRU4Rec, MMSARec, NARM, SASRec, STAMP, TrainConfig,
-                     VTRNN)
+from .models import (BERT4Rec, BPR, FPMC, GRU4Rec, HRNN, MMSARec, NARM, NCF,
+                     SASRec, STAMP, TrainConfig, VTRNN)
 
 PathLike = Union[str, pathlib.Path]
 
+#: Bumped whenever the archive layout changes incompatibly.  Version 1
+#: introduced the explicit header field; unversioned archives predate it.
+FORMAT_VERSION = 1
+
 _MODEL_CLASSES = {
     "Causer": Causer,
+    "BERT4Rec": BERT4Rec,
+    "BPR": BPR,
+    "FPMC": FPMC,
     "GRU4Rec": GRU4Rec,
-    "NARM": NARM,
-    "STAMP": STAMP,
-    "SASRec": SASRec,
-    "VTRNN": VTRNN,
+    "HRNN": HRNN,
     "MMSARec": MMSARec,
+    "NARM": NARM,
+    "NCF": NCF,
+    "SASRec": SASRec,
+    "STAMP": STAMP,
+    "VTRNN": VTRNN,
 }
 _NEEDS_FEATURES = {"Causer", "VTRNN", "MMSARec"}
+
+#: Constructor arguments beyond (num_users, num_items[, features], config)
+#: that shape the parameter tree and therefore must round-trip.
+_EXTRA_KWARGS: Dict[str, Callable[[object], Dict[str, object]]] = {
+    "BERT4Rec": lambda m: {"num_blocks": len(m.blocks),
+                           "num_heads": m.blocks[0].attn.num_heads},
+    "SASRec": lambda m: {"num_blocks": len(m.blocks),
+                         "num_heads": m.blocks[0].attn.num_heads},
+    "MMSARec": lambda m: {"num_blocks": len(m.blocks),
+                          "num_heads": m.blocks[0].attn.num_heads},
+    "HRNN": lambda m: {"session_length": m.session_length},
+}
+
+
+def registered_model_classes() -> Dict[str, type]:
+    """Copy of the class registry (name -> class)."""
+    return dict(_MODEL_CLASSES)
 
 
 def save_model(model, path: PathLike) -> None:
     """Serialize a trained model (parameters + config) to ``path``.
 
-    Supported classes: Causer and the neural sequential baselines.
+    Supported classes: Causer and every baseline in :mod:`repro.models`.
     """
     class_name = type(model).__name__
     if class_name not in _MODEL_CLASSES:
@@ -43,9 +72,11 @@ def save_model(model, path: PathLike) -> None:
                         f"{sorted(_MODEL_CLASSES)}")
     header = {
         "class": class_name,
+        "format_version": FORMAT_VERSION,
         "num_users": model.num_users,
         "num_items": model.num_items,
         "config": dataclasses.asdict(model.config),
+        "extra": _EXTRA_KWARGS.get(class_name, lambda m: {})(model),
     }
     arrays = {f"param::{name}": values
               for name, values in model.state_dict().items()}
@@ -59,22 +90,36 @@ def save_model(model, path: PathLike) -> None:
 
 
 def load_model(path: PathLike):
-    """Restore a model saved with :func:`save_model`."""
+    """Restore a model saved with :func:`save_model`.
+
+    Raises :class:`ValueError` (naming the file) when the archive declares
+    an unknown model class or a format version this build cannot read.
+    """
     with np.load(str(path)) as archive:
         header = json.loads(bytes(archive["header"]).decode("utf-8"))
+        version = header.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported checkpoint format_version {version!r} "
+                f"(this build reads version {FORMAT_VERSION}); re-save the "
+                f"model with the current repro.io.save_model")
         class_name = header["class"]
         if class_name not in _MODEL_CLASSES:
-            raise TypeError(f"unknown model class in archive: {class_name}")
+            raise ValueError(
+                f"{path}: unknown model class {class_name!r} in archive "
+                f"header; registered classes: {sorted(_MODEL_CLASSES)}")
         config_cls = CauserConfig if class_name == "Causer" else TrainConfig
         config_fields = {f.name for f in dataclasses.fields(config_cls)}
         config = config_cls(**{k: v for k, v in header["config"].items()
                                if k in config_fields})
         cls = _MODEL_CLASSES[class_name]
+        extra = header.get("extra", {})
         if class_name in _NEEDS_FEATURES:
             model = cls(header["num_users"], header["num_items"],
-                        archive["features"], config)
+                        archive["features"], config, **extra)
         else:
-            model = cls(header["num_users"], header["num_items"], config)
+            model = cls(header["num_users"], header["num_items"], config,
+                        **extra)
         state = {key[len("param::"):]: archive[key]
                  for key in archive.files if key.startswith("param::")}
         model.load_state_dict(state)

@@ -63,6 +63,25 @@ class FitResult:
         return self.epoch_losses[-1] if self.epoch_losses else float("nan")
 
 
+def rank_top_z(scores: np.ndarray, z: int = 5) -> List[List[int]]:
+    """Top-``z`` item ids per row of a ``(B, V + 1)`` score matrix.
+
+    Column 0 (the padding item) is masked to ``-inf``.  Shared by the
+    offline :class:`Recommender` protocol and the online serving scorer so
+    both rank (and break ties) identically.  Mutates ``scores``' padding
+    column; pass a copy if the input must survive.
+    """
+    scores[:, 0] = -np.inf  # never recommend the padding item
+    top = np.argpartition(-scores, kth=min(z, scores.shape[1] - 1),
+                          axis=1)[:, :z]
+    # Order each row's top-z slice in one batched argsort instead of a
+    # Python loop of per-row sorts.
+    top_scores = np.take_along_axis(scores, top, axis=1)
+    order = np.argsort(-top_scores, axis=1, kind="stable")
+    ranked = np.take_along_axis(top, order, axis=1)
+    return [list(map(int, row)) for row in ranked]
+
+
 class Recommender:
     """Minimal interface all models satisfy."""
 
@@ -77,16 +96,7 @@ class Recommender:
     def recommend(self, samples: Sequence[EvalSample], z: int = 5
                   ) -> List[List[int]]:
         """Rank the catalog for each sample and return the top-``z`` items."""
-        scores = self.score_samples(samples)
-        scores[:, 0] = -np.inf  # never recommend the padding item
-        top = np.argpartition(-scores, kth=min(z, scores.shape[1] - 1),
-                              axis=1)[:, :z]
-        # Order each row's top-z slice in one batched argsort instead of a
-        # Python loop of per-row sorts.
-        top_scores = np.take_along_axis(scores, top, axis=1)
-        order = np.argsort(-top_scores, axis=1, kind="stable")
-        ranked = np.take_along_axis(top, order, axis=1)
-        return [list(map(int, row)) for row in ranked]
+        return rank_top_z(self.score_samples(samples), z)
 
 
 class NeuralSequentialRecommender(Recommender, Module):

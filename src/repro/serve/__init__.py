@@ -1,0 +1,37 @@
+"""Online inference for trained checkpoints (`python -m repro serve`).
+
+Layers, bottom-up:
+
+* :mod:`repro.serve.metrics` — thread-safe counters + latency histograms
+  with Prometheus text export,
+* :mod:`repro.serve.sessions` — per-user recurrent state advanced
+  incrementally per event (O(1) inside the model's history window), with
+  a bit-identical full-replay fallback and LRU eviction,
+* :mod:`repro.serve.registry` — checkpoint loading via :mod:`repro.io`,
+  frozen artifact precompute (item-level causal matrix, ε-gate, cluster
+  assignments, embedding tables) and lock-guarded hot swap,
+* :mod:`repro.serve.scoring` — incremental and replay scorers whose
+  rankings match offline :func:`repro.eval.evaluate_model` output,
+* :mod:`repro.serve.batcher` — micro-batching scheduler
+  (``max_batch_size`` / ``max_wait_ms``),
+* :mod:`repro.serve.http` — the :class:`ServeApp` route core, a socket-free
+  :class:`InProcessClient`, and the stdlib HTTP server.
+"""
+
+from .batcher import MicroBatcher
+from .http import InProcessClient, ServeApp, ServeError, ServeServer
+from .metrics import MetricsRegistry
+from .registry import (CausalServingArtifacts, CheckpointRegistry,
+                       GRUServingArtifacts, ServingArtifacts, build_artifacts)
+from .scoring import score_views, top_causal_edges
+from .sessions import (RecurrentServingParams, ScoreView, SessionState,
+                       SessionStore, gru_step, lstm_step)
+
+__all__ = [
+    "CausalServingArtifacts", "CheckpointRegistry", "GRUServingArtifacts",
+    "InProcessClient", "MetricsRegistry", "MicroBatcher",
+    "RecurrentServingParams", "ScoreView", "ServeApp", "ServeError",
+    "ServeServer", "ServingArtifacts", "SessionState", "SessionStore",
+    "build_artifacts", "gru_step", "lstm_step", "score_views",
+    "top_causal_edges",
+]

@@ -1,0 +1,129 @@
+"""Micro-batching scheduler: coalesce concurrent scoring requests.
+
+Full-catalog scoring is GEMM-bound, and a ``(B, ·)`` GEMM costs far less
+than ``B`` separate ``(1, ·)`` GEMMs — so concurrent requests are worth
+coalescing.  A single worker thread drains a queue: it closes a batch when
+``max_batch_size`` requests are waiting or when the **oldest** request has
+waited ``max_wait_ms`` (the knob bounding added latency); under no
+concurrency a lone request therefore waits at most ``max_wait_ms``.
+
+The batcher is generic: it moves opaque payloads to a caller-supplied
+``score_many(payloads) -> results`` function (the serve app's, which groups
+payloads by artifact generation so a hot swap mid-batch scores each
+request against the checkpoint it was admitted under).  Failures propagate
+to the submitting thread, never to unrelated requests in the same batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, List, Optional, Sequence
+
+from .metrics import MetricsRegistry
+
+
+class _Pending:
+    """One in-flight request: payload + completion event + result slot."""
+
+    __slots__ = ("payload", "event", "result", "error", "enqueued_at")
+
+    def __init__(self, payload: Any) -> None:
+        self.payload = payload
+        self.event = threading.Event()
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.enqueued_at = time.perf_counter()
+
+
+class MicroBatcher:
+    """Batches calls to ``score_many`` across concurrent submitters."""
+
+    def __init__(self, score_many: Callable[[Sequence[Any]], Sequence[Any]],
+                 max_batch_size: int = 32, max_wait_ms: float = 2.0,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        self._score_many = score_many
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_ms / 1000.0
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        self._queue: List[_Pending] = []
+        self._closed = False
+        self._worker = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve-batcher")
+        self._worker.start()
+
+    # -- submitter side --------------------------------------------------
+    def submit(self, payload: Any) -> Any:
+        """Enqueue one payload and block until its result is ready."""
+        pending = _Pending(payload)
+        with self._nonempty:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            self._queue.append(pending)
+            self._nonempty.notify()
+        pending.event.wait()
+        if pending.error is not None:
+            raise pending.error
+        return pending.result
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the worker after the queue drains."""
+        with self._nonempty:
+            if self._closed:
+                return
+            self._closed = True
+            self._nonempty.notify()
+        self._worker.join(timeout=timeout)
+
+    # -- worker side -----------------------------------------------------
+    def _take_batch(self) -> Optional[List[_Pending]]:
+        """Wait for work; return a batch, or None when closed and drained."""
+        with self._nonempty:
+            while not self._queue and not self._closed:
+                self._nonempty.wait()
+            if not self._queue:
+                return None  # closed and drained
+            # Linger (bounded by the oldest request's deadline) to let
+            # concurrent submitters join this batch.
+            deadline = self._queue[0].enqueued_at + self.max_wait_s
+            while (len(self._queue) < self.max_batch_size
+                   and not self._closed):
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._nonempty.wait(timeout=remaining)
+            batch = self._queue[:self.max_batch_size]
+            del self._queue[:len(batch)]
+            return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            now = time.perf_counter()
+            if self.metrics is not None:
+                self.metrics.observe("serve_batch_size", len(batch))
+                for pending in batch:
+                    self.metrics.observe("serve_batch_wait_seconds",
+                                         now - pending.enqueued_at)
+            try:
+                results = self._score_many([p.payload for p in batch])
+                if len(results) != len(batch):
+                    raise RuntimeError(
+                        f"score_many returned {len(results)} results for "
+                        f"{len(batch)} payloads")
+                for pending, result in zip(batch, results):
+                    pending.result = result
+            except BaseException as exc:  # noqa: BLE001 — forwarded, not hidden
+                for pending in batch:
+                    pending.error = exc
+            finally:
+                for pending in batch:
+                    pending.event.set()

@@ -1,0 +1,373 @@
+"""The serving application and its HTTP skin.
+
+:class:`ServeApp` is the transport-agnostic core: ``handle(method, path,
+payload)`` implements every endpoint against the checkpoint registry, the
+session store and the micro-batcher, and returns ``(status, body,
+content_type)``.  Two transports wrap it:
+
+* :class:`InProcessClient` — calls ``handle`` directly (with a JSON
+  round-trip so payloads and responses are provably serializable); this is
+  what the tests and benchmarks use, no sockets involved.
+* :class:`ServeServer` — a stdlib ``ThreadingHTTPServer`` speaking the
+  same routes over real HTTP for ``python -m repro serve``.
+
+Endpoints::
+
+    POST /v1/recommend  {"user_id": int, "z"?: int, "history"?: [[int]]}
+    POST /v1/events     {"user_id": int, "basket": [int]}
+    POST /v1/explain    {"user_id": int, "target_item": int, "top"?: int,
+                         "history"?: [[int]]}
+    GET  /healthz
+    GET  /metrics       (Prometheus text format)
+
+With no checkpoint installed (or an empty session history) ``/v1/recommend``
+degrades gracefully to an observed-popularity ranking and labels the
+response ``"source": "popularity"``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..models.base import rank_top_z
+from .batcher import MicroBatcher
+from .metrics import MetricsRegistry
+from .registry import CheckpointRegistry, ServingArtifacts
+from .scoring import score_views, top_causal_edges
+from .sessions import SessionStore
+
+JSON_TYPE = "application/json"
+TEXT_TYPE = "text/plain; version=0.0.4"
+
+Response = Tuple[int, Any, str]
+
+
+class ServeError(Exception):
+    """Client-visible failure with an HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _require_int(payload: Dict[str, Any], key: str) -> int:
+    value = payload.get(key)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServeError(400, f"field {key!r} must be an integer")
+    return value
+
+
+def _parse_basket(value: Any, num_items: Optional[int]) -> Tuple[int, ...]:
+    if not isinstance(value, (list, tuple)) or not value:
+        raise ServeError(400, "basket must be a non-empty list of item ids")
+    basket: List[int] = []
+    for item in value:
+        if isinstance(item, bool) or not isinstance(item, int) or item < 1:
+            raise ServeError(400, f"invalid item id {item!r}: item ids are "
+                                  f"integers >= 1")
+        if num_items is not None and item > num_items:
+            raise ServeError(400, f"item id {item} exceeds the loaded "
+                                  f"catalog (num_items={num_items})")
+        basket.append(item)
+    return tuple(basket)
+
+
+def _parse_history(value: Any, num_items: Optional[int]
+                   ) -> List[Tuple[int, ...]]:
+    if not isinstance(value, (list, tuple)):
+        raise ServeError(400, "history must be a list of baskets")
+    return [_parse_basket(basket, num_items) for basket in value]
+
+
+class ServeApp:
+    """Registry + sessions + batcher behind a route table."""
+
+    def __init__(self, registry: Optional[CheckpointRegistry] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 session_capacity: int = 10_000,
+                 max_batch_size: int = 32, max_wait_ms: float = 2.0,
+                 default_z: int = 5) -> None:
+        self.registry = registry or CheckpointRegistry()
+        self.metrics = metrics or MetricsRegistry()
+        self.sessions = SessionStore(capacity=session_capacity)
+        self.default_z = default_z
+        self.batcher = MicroBatcher(self._score_many,
+                                    max_batch_size=max_batch_size,
+                                    max_wait_ms=max_wait_ms,
+                                    metrics=self.metrics)
+        self._pop_lock = threading.Lock()
+        self._pop_counts = np.zeros(1, dtype=np.int64)
+
+    # -- checkpoint management -------------------------------------------
+    def load_checkpoint(self, path) -> ServingArtifacts:
+        return self.registry.load(path)
+
+    def install_model(self, model, path: Optional[str] = None
+                      ) -> ServingArtifacts:
+        return self.registry.install(model, path=path)
+
+    def close(self) -> None:
+        self.batcher.close()
+
+    # -- popularity fallback ---------------------------------------------
+    def _count_event(self, basket: Sequence[int]) -> None:
+        with self._pop_lock:
+            top = max(basket)
+            if top >= self._pop_counts.shape[0]:
+                grown = np.zeros(top + 1, dtype=np.int64)
+                grown[:self._pop_counts.shape[0]] = self._pop_counts
+                self._pop_counts = grown
+            for item in basket:
+                self._pop_counts[item] += 1
+
+    def _popularity_row(self, artifacts: Optional[ServingArtifacts]
+                        ) -> np.ndarray:
+        with self._pop_lock:
+            counts = self._pop_counts.astype(np.float64)
+        width = (artifacts.num_items + 1 if artifacts is not None
+                 else max(counts.shape[0], 2))
+        row = np.zeros(width)
+        span = min(width, counts.shape[0])
+        row[:span] = counts[:span]
+        return row
+
+    # -- scoring ----------------------------------------------------------
+    def _score_many(self, payloads: Sequence[Tuple[ServingArtifacts, Any]]
+                    ) -> List[np.ndarray]:
+        """Batcher callback: group by artifact bundle, score each group.
+
+        Requests admitted under different generations (a hot swap landed
+        mid-batch) score against the exact bundle they were admitted with.
+        """
+        results: List[Optional[np.ndarray]] = [None] * len(payloads)
+        groups: Dict[int, Tuple[ServingArtifacts, List[int]]] = {}
+        for index, (artifacts, _) in enumerate(payloads):
+            groups.setdefault(id(artifacts), (artifacts, []))[1].append(index)
+        for artifacts, indices in groups.values():
+            views = [payloads[i][1] for i in indices]
+            scores = score_views(artifacts, views)
+            for row, index in enumerate(indices):
+                results[index] = scores[row]
+        return results
+
+    # -- endpoints ---------------------------------------------------------
+    def _recommend(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        user_id = _require_int(payload, "user_id")
+        z = payload.get("z", self.default_z)
+        if isinstance(z, bool) or not isinstance(z, int) or z < 1:
+            raise ServeError(400, "field 'z' must be a positive integer")
+        artifacts = self.registry.current()
+        num_items = None if artifacts is None else artifacts.num_items
+        if "history" in payload:
+            history = _parse_history(payload["history"], num_items)
+            view = self.sessions.ephemeral_view(user_id, history, artifacts)
+        else:
+            view = self.sessions.view(user_id, artifacts)
+
+        if artifacts is None or view is None or view.steps == 0:
+            self.metrics.inc("serve_fallback_total")
+            scores = self._popularity_row(artifacts)[None, :]
+            # Padding (item 0) leaks into the top-z when z exceeds the
+            # catalog; drop it rather than recommend a non-item.
+            items = [i for i in rank_top_z(scores, z)[0] if i != 0]
+            return {"user_id": user_id, "items": items,
+                    "source": "popularity", "model": None,
+                    "generation": (None if artifacts is None
+                                   else artifacts.generation)}
+
+        row = self.batcher.submit((artifacts, view))
+        items = [i for i in rank_top_z(row[None, :].copy(), z)[0] if i != 0]
+        return {"user_id": user_id, "items": items, "source": "model",
+                "model": artifacts.model_class,
+                "generation": artifacts.generation}
+
+    def _events(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        user_id = _require_int(payload, "user_id")
+        artifacts = self.registry.current()
+        num_items = None if artifacts is None else artifacts.num_items
+        basket = _parse_basket(payload.get("basket"), num_items)
+        session = self.sessions.append_event(user_id, basket, artifacts)
+        self._count_event(basket)
+        self.metrics.inc("serve_events_total")
+        return {"user_id": user_id,
+                "session_length": len(session.events)}
+
+    def _explain(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        artifacts = self.registry.current()
+        if artifacts is None:
+            raise ServeError(409, "no checkpoint loaded; /v1/explain needs "
+                                  "a Causer checkpoint")
+        if not artifacts.supports_explain:
+            raise ServeError(409, f"loaded model {artifacts.model_class!r} "
+                                  f"does not provide causal explanations; "
+                                  f"load a Causer checkpoint")
+        user_id = _require_int(payload, "user_id")
+        target = _require_int(payload, "target_item")
+        if not 1 <= target <= artifacts.num_items:
+            raise ServeError(400, f"target_item {target} outside the "
+                                  f"catalog (1..{artifacts.num_items})")
+        top = payload.get("top", 5)
+        if isinstance(top, bool) or not isinstance(top, int) or top < 1:
+            raise ServeError(400, "field 'top' must be a positive integer")
+        if "history" in payload:
+            events: Sequence[Tuple[int, ...]] = _parse_history(
+                payload["history"], artifacts.num_items)
+        else:
+            view = self.sessions.view(user_id, artifacts)
+            if view is None or view.steps == 0:
+                raise ServeError(404, f"user {user_id} has no session "
+                                      f"events and no history was given")
+            events = view.events
+        edges = top_causal_edges(artifacts, events, target, top=top)
+        return {"user_id": user_id, "target_item": target, "edges": edges,
+                "generation": artifacts.generation}
+
+    def _healthz(self) -> Dict[str, Any]:
+        artifacts = self.registry.current()
+        return {"status": "ok" if artifacts is not None else "degraded",
+                "checkpoint": (None if artifacts is None
+                               else artifacts.describe()),
+                "sessions": len(self.sessions)}
+
+    # -- routing -----------------------------------------------------------
+    def handle(self, method: str, path: str,
+               payload: Optional[Dict[str, Any]] = None) -> Response:
+        """Serve one request; never raises (errors become status codes)."""
+        endpoint = path
+        started = time.perf_counter()
+        try:
+            status, body, ctype = self._route(method, path, payload)
+        except ServeError as exc:
+            status, body, ctype = exc.status, {"error": str(exc)}, JSON_TYPE
+            self.metrics.inc("serve_errors_total", {"endpoint": endpoint})
+        except Exception as exc:  # noqa: BLE001 — the server must not die
+            status = 500
+            body, ctype = {"error": f"internal error: {exc}"}, JSON_TYPE
+            self.metrics.inc("serve_errors_total", {"endpoint": endpoint})
+        self.metrics.inc("serve_requests_total",
+                         {"endpoint": endpoint, "status": str(status)})
+        self.metrics.observe("serve_request_latency_seconds",
+                             time.perf_counter() - started,
+                             {"endpoint": endpoint})
+        return status, body, ctype
+
+    def _route(self, method: str, path: str,
+               payload: Optional[Dict[str, Any]]) -> Response:
+        if path == "/healthz":
+            if method != "GET":
+                raise ServeError(405, "use GET for /healthz")
+            return 200, self._healthz(), JSON_TYPE
+        if path == "/metrics":
+            if method != "GET":
+                raise ServeError(405, "use GET for /metrics")
+            return 200, self.metrics.render(), TEXT_TYPE
+        handlers = {"/v1/recommend": self._recommend,
+                    "/v1/events": self._events,
+                    "/v1/explain": self._explain}
+        handler = handlers.get(path)
+        if handler is None:
+            raise ServeError(404, f"unknown path {path!r}")
+        if method != "POST":
+            raise ServeError(405, f"use POST for {path}")
+        if payload is None or not isinstance(payload, dict):
+            raise ServeError(400, "request body must be a JSON object")
+        return 200, handler(payload), JSON_TYPE
+
+
+class InProcessClient:
+    """Socket-free client: same routes, same JSON discipline, no server."""
+
+    def __init__(self, app: ServeApp) -> None:
+        self.app = app
+
+    def request(self, method: str, path: str,
+                payload: Optional[Dict[str, Any]] = None
+                ) -> Tuple[int, Any]:
+        if payload is not None:
+            payload = json.loads(json.dumps(payload))
+        status, body, ctype = self.app.handle(method, path, payload)
+        if ctype == JSON_TYPE:
+            # Round-trip so anything JSON-unserializable fails loudly here
+            # exactly as it would over the wire.
+            body = json.loads(json.dumps(body))
+        return status, body
+
+    def get(self, path: str) -> Tuple[int, Any]:
+        return self.request("GET", path)
+
+    def post(self, path: str, payload: Dict[str, Any]) -> Tuple[int, Any]:
+        return self.request("POST", path, payload)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        self._dispatch("GET", None)
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        raw = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else None
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            self._write(400, {"error": "request body is not valid JSON"},
+                        JSON_TYPE)
+            return
+        self._dispatch("POST", payload)
+
+    def _dispatch(self, method: str, payload: Optional[Dict[str, Any]]
+                  ) -> None:
+        status, body, ctype = self.server.app.handle(  # type: ignore[attr-defined]
+            method, self.path, payload)
+        self._write(status, body, ctype)
+
+    def _write(self, status: int, body: Any, ctype: str) -> None:
+        data = (body if isinstance(body, str)
+                else json.dumps(body)).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # access logs live in /metrics, not on stderr
+
+
+class ServeServer:
+    """ThreadingHTTPServer bound to a :class:`ServeApp`."""
+
+    def __init__(self, app: ServeApp, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.app = app
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.app = app  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.httpd.server_address[0], self.httpd.server_address[1]
+
+    def start(self) -> "ServeServer":
+        """Serve on a background thread (tests / embedding)."""
+        self._thread = threading.Thread(target=self.httpd.serve_forever,
+                                        daemon=True, name="repro-serve-http")
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self.app.close()

@@ -1,0 +1,218 @@
+"""Checkpoint registry: load ``.npz`` checkpoints, precompute serving
+artifacts, hot-swap behind a lock.
+
+A checkpoint (written by :func:`repro.io.save_model`) is turned into a
+frozen :class:`ServingArtifacts` bundle once, at install time:
+
+* the **item-level causal matrix** Ŵ (eq. 9, via the fingerprint-cached
+  :meth:`Causer.item_causal_matrix`) and its **ε-gated** counterpart
+  ``W ⊙ 1(W > ε)`` — the per-request scorer then never re-projects K×K→N×N,
+* **hard cluster assignments** per item,
+* the **input embedding table** feeding incremental RNN updates
+  (:class:`repro.serve.sessions.RecurrentServingParams`),
+* the output item-embedding table + bias the final dot-product reads.
+
+Artifacts are immutable once published.  :meth:`CheckpointRegistry.install`
+swaps the current bundle atomically under a lock and bumps a monotonically
+increasing **generation**; in-flight requests keep scoring against the
+artifact object they already hold, and session states lazily rebuild on
+their first touch after the swap (see :meth:`SessionStore._sync`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..core.causer import Causer
+from ..io import PathLike, load_model
+from ..models.gru4rec import GRU4Rec
+from ..nn import no_grad
+from .sessions import RecurrentServingParams
+
+
+@dataclass
+class ServingArtifacts:
+    """Everything a scorer needs, derived once per installed checkpoint."""
+
+    generation: int
+    path: Optional[str]
+    model: Any
+    model_class: str
+    num_users: int
+    num_items: int
+    max_history: int
+    #: Incremental-update parameters; ``None`` means the scorer replays the
+    #: event history through ``model.score_samples`` (the offline path).
+    recurrent: Optional[RecurrentServingParams] = None
+    #: ``"incremental"`` or ``"replay"`` — which scorer handles this model.
+    mode: str = "replay"
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def supports_explain(self) -> bool:
+        return self.model_class == "Causer"
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe summary for ``/healthz``."""
+        return {"generation": self.generation,
+                "path": self.path,
+                "model_class": self.model_class,
+                "mode": self.mode,
+                "num_items": self.num_items,
+                "max_history": self.max_history}
+
+
+@dataclass
+class CausalServingArtifacts(ServingArtifacts):
+    """Causer-specific precompute: frozen eq. 10 ingredients."""
+
+    item_matrix: Optional[np.ndarray] = None      # Ŵ, (V+1, V+1), read-only
+    gated_matrix: Optional[np.ndarray] = None     # Ŵ ⊙ 1(Ŵ > ε)
+    hard_clusters: Optional[np.ndarray] = None    # (V+1,) argmax assignment
+    attention_proj: Optional[np.ndarray] = None   # A, None in (-att) mode
+    adapt_weight: Optional[np.ndarray] = None     # V, (d_e, h)
+    output_table: Optional[np.ndarray] = None     # (V+1, d_e)
+    output_bias: Optional[np.ndarray] = None      # (V+1,)
+    use_causal: bool = True
+    epsilon: float = 0.0
+
+
+@dataclass
+class GRUServingArtifacts(ServingArtifacts):
+    """GRU4Rec head: projection + output table for the final dot product."""
+
+    project_weight: Optional[np.ndarray] = None
+    project_bias: Optional[np.ndarray] = None
+    output_table: Optional[np.ndarray] = None
+    output_bias: Optional[np.ndarray] = None
+
+
+def _causer_recurrent(model: Causer) -> RecurrentServingParams:
+    """Incremental-update params mirroring ``Causer._history_states``."""
+    with no_grad(model):
+        input_table = (model.clusters.encode()
+                       + model.item_embedding.weight).data.copy()
+    cell = model.rnn.cell
+    user_table = model.user_embedding.weight.data
+    init_w = model.user_init.weight.data
+    init_b = model.user_init.bias.data
+    num_users = max(model.num_users, 1)
+
+    def init_h(user_id: int) -> np.ndarray:
+        u = user_table[user_id % num_users][None, :]
+        return np.tanh(u @ init_w.T + init_b)
+
+    if model.config.cell_type == "lstm":
+        return RecurrentServingParams(
+            cell_type="lstm", input_table=input_table,
+            w_ih=cell.w_ih.data, w_hh=cell.w_hh.data,
+            b_ih=None, b_hh=None, bias=cell.bias.data,
+            init_h=init_h, max_history=model.config.max_history,
+            track_states=True)
+    return RecurrentServingParams(
+        cell_type="gru", input_table=input_table,
+        w_ih=cell.w_ih.data, w_hh=cell.w_hh.data,
+        b_ih=cell.b_ih.data, b_hh=cell.b_hh.data, bias=None,
+        init_h=init_h, max_history=model.config.max_history,
+        track_states=True)
+
+
+def _gru4rec_recurrent(model: GRU4Rec) -> RecurrentServingParams:
+    cell = model.rnn.cell
+    hidden = model.config.hidden_dim
+
+    def init_h(user_id: int) -> np.ndarray:
+        return np.zeros((1, hidden))
+
+    return RecurrentServingParams(
+        cell_type="gru", input_table=model.item_embedding.weight.data,
+        w_ih=cell.w_ih.data, w_hh=cell.w_hh.data,
+        b_ih=cell.b_ih.data, b_hh=cell.b_hh.data, bias=None,
+        init_h=init_h, max_history=model.config.max_history,
+        track_states=False)
+
+
+def build_artifacts(model, generation: int,
+                    path: Optional[str] = None) -> ServingArtifacts:
+    """Precompute the frozen serving bundle for one loaded model.
+
+    ``type() is`` dispatch on purpose: subclasses (e.g. ``DynamicCauser``'s
+    segment-dependent causal matrix) do not satisfy the frozen-artifact
+    assumptions and fall back to the replay scorer.
+    """
+    model.eval()
+    common = dict(generation=generation, path=path, model=model,
+                  model_class=type(model).__name__,
+                  num_users=model.num_users, num_items=model.num_items,
+                  max_history=model.config.max_history)
+    if type(model) is Causer and model.config.filtering_mode == "shared":
+        cfg = model.config
+        item_matrix = model.item_causal_matrix()
+        gated = np.where(item_matrix > cfg.epsilon, item_matrix, 0.0)
+        gated.setflags(write=False)
+        return CausalServingArtifacts(
+            mode="incremental", recurrent=_causer_recurrent(model),
+            item_matrix=item_matrix, gated_matrix=gated,
+            hard_clusters=model.clusters.hard_assignments(),
+            attention_proj=(model.attention.proj.data
+                            if cfg.use_attention else None),
+            adapt_weight=model.adapt.weight.data,
+            output_table=model.output_embedding.weight.data,
+            output_bias=model.output_bias.data,
+            use_causal=cfg.use_causal, epsilon=cfg.epsilon, **common)
+    if type(model) is GRU4Rec:
+        return GRUServingArtifacts(
+            mode="incremental", recurrent=_gru4rec_recurrent(model),
+            project_weight=model.project.weight.data,
+            project_bias=model.project.bias.data,
+            output_table=model.output_embedding.weight.data,
+            output_bias=model.output_bias.data, **common)
+    # Everything else (attention models, factorization baselines, strict /
+    # cluster-filtered Causer, Causer subclasses) replays through the
+    # model's own batch scorer — trivially identical to offline scoring.
+    return ServingArtifacts(mode="replay", **common)
+
+
+class CheckpointRegistry:
+    """Holds the current serving bundle; ``install`` hot-swaps it."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._current: Optional[ServingArtifacts] = None
+        self._generation = 0
+
+    def load(self, path: PathLike) -> ServingArtifacts:
+        """Load a checkpoint file and make it the live bundle."""
+        model = load_model(path)
+        return self.install(model, path=str(path))
+
+    def install(self, model, path: Optional[str] = None) -> ServingArtifacts:
+        """Publish ``model`` (already in memory) as the live bundle.
+
+        Artifact precompute runs outside the lock; only the pointer swap is
+        serialized, so a hot swap never blocks concurrent ``current()``.
+        """
+        with self._lock:
+            self._generation += 1
+            generation = self._generation
+        artifacts = build_artifacts(model, generation, path=path)
+        with self._lock:
+            # A concurrent install may have published a newer generation
+            # while we precomputed; never roll the registry backwards.
+            if (self._current is None
+                    or self._current.generation < generation):
+                self._current = artifacts
+        return artifacts
+
+    def current(self) -> Optional[ServingArtifacts]:
+        with self._lock:
+            return self._current
+
+    def clear(self) -> None:
+        """Drop the live bundle (serving degrades to the popularity path)."""
+        with self._lock:
+            self._current = None

@@ -1,0 +1,142 @@
+"""Online scorers: turn session snapshots into full-catalog scores.
+
+Two paths, chosen by the registry at artifact-build time:
+
+* **incremental** — Causer (``filtering_mode="shared"``) and GRU4Rec reuse
+  the recurrent states the session store advanced event-by-event; only the
+  cheap head (attention + ε-gated causal aggregation + output dot product
+  for Causer, projection + dot product for GRU4Rec) runs per request.  The
+  head replicates ``Causer._logits_shared`` / ``GRU4Rec.score_samples``
+  operation-for-operation, including the masked-softmax epsilon of
+  :func:`repro.nn.fused.fused_masked_softmax`.
+* **replay** — every other model scores through its own
+  ``score_samples`` batch path, which *is* the offline scorer, so online
+  and offline agree trivially.
+
+Both paths end in :func:`repro.models.base.rank_top_z`, so ranking and
+tie-breaking match offline evaluation exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..data.interactions import EvalSample
+from .registry import (CausalServingArtifacts, GRUServingArtifacts,
+                       ServingArtifacts)
+from .sessions import ScoreView
+
+
+def _alpha(states: np.ndarray, last: np.ndarray,
+           proj: np.ndarray) -> np.ndarray:
+    """Per-step attention over an all-valid history, shape ``(T,)``.
+
+    Same numerics as ``BilinearAttention.raw_scores`` followed by
+    ``fused_masked_softmax`` with an all-true mask (every session event is
+    a real step — padding never reaches the serving path).
+    """
+    if proj is None:
+        scores = np.zeros(states.shape[0])
+    else:
+        projected = last @ proj.T                 # (1, H)
+        scores = states @ projected[0]            # (T,)
+    shifted = scores - scores.max()
+    exp = np.exp(shifted)
+    return exp / (exp.sum() + 1e-12)
+
+
+def _score_causer(artifacts: CausalServingArtifacts,
+                  view: ScoreView) -> np.ndarray:
+    """Eq. 10 full-catalog logits from one session snapshot."""
+    catalog = artifacts.num_items + 1
+    if view.steps == 0 or view.states is None:
+        # Empty history: zero context, so only the popularity prior scores.
+        return artifacts.output_bias.copy()
+    states = view.states                          # (T, H)
+    alpha = _alpha(states, view.last, artifacts.attention_proj)
+    if artifacts.use_causal:
+        effects = np.zeros((view.steps, catalog))
+        for t, basket in enumerate(view.events):
+            effects[t] = artifacts.gated_matrix[list(basket)].sum(axis=0)
+    else:
+        effects = np.ones((view.steps, catalog))
+    weights = effects * alpha[:, None]            # (T, C)
+    context = weights.T @ states                  # (C, H)
+    adapted = context @ artifacts.adapt_weight.T  # (C, d_e)
+    return ((adapted * artifacts.output_table).sum(axis=1)
+            + artifacts.output_bias)
+
+
+def _score_gru_batch(artifacts: GRUServingArtifacts,
+                     views: Sequence[ScoreView]) -> np.ndarray:
+    """GRU4Rec head over a micro-batch: one stacked GEMM for all views."""
+    hidden = artifacts.recurrent.hidden_size
+    last = np.zeros((len(views), hidden))
+    for row, view in enumerate(views):
+        if view.last is not None:
+            last[row] = view.last[0]
+    rep = last @ artifacts.project_weight.T + artifacts.project_bias
+    return rep @ artifacts.output_table.T + artifacts.output_bias[None, :]
+
+
+def _score_replay(artifacts: ServingArtifacts,
+                  views: Sequence[ScoreView]) -> np.ndarray:
+    """Replay the stored events through the model's offline batch scorer."""
+    samples = [
+        EvalSample(user_id=view.user_id,
+                   history=tuple(view.events[-artifacts.max_history:])
+                   or ((0,),),
+                   target=())
+        for view in views]
+    return artifacts.model.score_samples(samples)
+
+
+def score_views(artifacts: ServingArtifacts,
+                views: Sequence[ScoreView]) -> np.ndarray:
+    """Full-catalog scores for a micro-batch of sessions: ``(B, V + 1)``.
+
+    Every view must belong to ``artifacts``' generation (the batcher groups
+    by artifact identity before calling).
+    """
+    if not views:
+        return np.zeros((0, artifacts.num_items + 1))
+    if isinstance(artifacts, CausalServingArtifacts):
+        return np.stack([_score_causer(artifacts, view) for view in views])
+    if isinstance(artifacts, GRUServingArtifacts):
+        return _score_gru_batch(artifacts, views)
+    return _score_replay(artifacts, views)
+
+
+def popularity_scores(counts: np.ndarray, num_rows: int = 1) -> np.ndarray:
+    """Degraded-mode scores: observed event frequency per item."""
+    return np.tile(counts.astype(np.float64), (num_rows, 1))
+
+
+def top_causal_edges(artifacts: CausalServingArtifacts,
+                     events: Sequence[Sequence[int]], target_item: int,
+                     top: int = 5) -> List[dict]:
+    """Top causal (history item → target) edges for ``/v1/explain``.
+
+    Runs the §V-E explanation protocol (:func:`repro.core.explain.
+    explanation_breakdown`) on the session's events, flattened to singleton
+    baskets as the protocol requires; ties broken by recency (later
+    occurrences first, matching a stable sort on the reversed order).
+    """
+    from ..core.explain import explanation_breakdown
+    from ..data.explanation import ExplanationSample
+
+    history = tuple((int(item),) for basket in events for item in basket)
+    if not history:
+        return []
+    sample = ExplanationSample(user_id=0, history=history,
+                               target_item=int(target_item), cause_items=())
+    breakdown = explanation_breakdown(artifacts.model, sample)
+    order = np.argsort(-breakdown.combined, kind="stable")[:top]
+    return [{"item": int(breakdown.history_items[idx]),
+             "position": int(idx),
+             "causal_effect": float(breakdown.causal_effect[idx]),
+             "attention": float(breakdown.attention[idx]),
+             "combined": float(breakdown.combined[idx])}
+            for idx in order]

@@ -1,0 +1,73 @@
+"""Serve-suite fixtures: small trained models and app factories."""
+
+import numpy as np
+import pytest
+
+from repro.core import Causer, CauserConfig
+from repro.models import GRU4Rec, TrainConfig
+from repro.serve import InProcessClient, ServeApp
+
+
+@pytest.fixture(scope="package")
+def served_causer(tiny_dataset, tiny_split):
+    """A trained GRU Causer in the serving-friendly shared filtering mode."""
+    config = CauserConfig(embedding_dim=8, hidden_dim=8, num_epochs=2,
+                          batch_size=64, num_clusters=4, epsilon=0.2,
+                          eta=0.5, seed=0, max_history=8)
+    model = Causer(tiny_dataset.corpus.num_users, tiny_dataset.num_items,
+                   tiny_dataset.features, config)
+    model.fit(tiny_split.train)
+    return model
+
+
+@pytest.fixture(scope="package")
+def served_lstm_causer(tiny_dataset, tiny_split):
+    config = CauserConfig(embedding_dim=8, hidden_dim=8, num_epochs=1,
+                          batch_size=64, num_clusters=4, epsilon=0.2,
+                          eta=0.5, seed=1, max_history=8, cell_type="lstm")
+    model = Causer(tiny_dataset.corpus.num_users, tiny_dataset.num_items,
+                   tiny_dataset.features, config)
+    model.fit(tiny_split.train)
+    return model
+
+
+@pytest.fixture(scope="package")
+def served_gru4rec(tiny_dataset, tiny_split):
+    config = TrainConfig(embedding_dim=8, hidden_dim=8, num_epochs=1,
+                         batch_size=64, seed=0, max_history=8)
+    model = GRU4Rec(tiny_dataset.corpus.num_users, tiny_dataset.num_items,
+                    config)
+    model.fit(tiny_split.train)
+    return model
+
+
+@pytest.fixture
+def make_app():
+    """Factory building (ServeApp, InProcessClient) pairs, closed on exit."""
+    apps = []
+
+    def _make(model=None, **kwargs):
+        kwargs.setdefault("max_wait_ms", 0.5)
+        app = ServeApp(**kwargs)
+        if model is not None:
+            app.install_model(model)
+        apps.append(app)
+        return app, InProcessClient(app)
+
+    yield _make
+    for app in apps:
+        app.close()
+
+
+def random_histories(seed, num_users, num_steps, num_items, max_basket=2):
+    """Deterministic per-user histories of small baskets."""
+    rng = np.random.default_rng(seed)
+    histories = {}
+    for user in range(num_users):
+        baskets = []
+        for _ in range(num_steps):
+            width = int(rng.integers(1, max_basket + 1))
+            baskets.append(tuple(
+                int(i) for i in rng.integers(1, num_items + 1, size=width)))
+        histories[user] = tuple(baskets)
+    return histories

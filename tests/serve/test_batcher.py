@@ -1,0 +1,108 @@
+"""Micro-batcher: coalescing, ordering, failure isolation, shutdown."""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serve import MetricsRegistry, MicroBatcher
+
+
+class TestMicroBatcher:
+    def test_results_match_payloads(self):
+        batcher = MicroBatcher(lambda items: [x * 2 for x in items],
+                               max_batch_size=4, max_wait_ms=5.0)
+        try:
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                results = list(pool.map(batcher.submit, range(20)))
+            assert results == [x * 2 for x in range(20)]
+        finally:
+            batcher.close()
+
+    def test_concurrent_submits_coalesce(self):
+        batch_sizes = []
+        barrier = threading.Barrier(6)
+
+        def score(items):
+            batch_sizes.append(len(items))
+            return items
+
+        batcher = MicroBatcher(score, max_batch_size=8, max_wait_ms=50.0)
+
+        def submit(x):
+            barrier.wait()  # release all submitters at once
+            return batcher.submit(x)
+
+        try:
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                list(pool.map(submit, range(6)))
+            assert max(batch_sizes) > 1
+            assert sum(batch_sizes) == 6
+        finally:
+            batcher.close()
+
+    def test_max_batch_size_respected(self):
+        batch_sizes = []
+
+        def slow_score(items):
+            batch_sizes.append(len(items))
+            time.sleep(0.02)  # let the queue build up behind the worker
+            return items
+
+        batcher = MicroBatcher(slow_score, max_batch_size=3, max_wait_ms=50.0)
+        try:
+            with ThreadPoolExecutor(max_workers=10) as pool:
+                list(pool.map(batcher.submit, range(10)))
+            assert max(batch_sizes) <= 3
+        finally:
+            batcher.close()
+
+    def test_error_propagates_to_submitter(self):
+        calls = []
+
+        def flaky(items):
+            calls.append(list(items))
+            if len(calls) == 1:
+                raise RuntimeError("scorer exploded")
+            return items
+
+        batcher = MicroBatcher(flaky, max_batch_size=4, max_wait_ms=1.0)
+        try:
+            with pytest.raises(RuntimeError, match="scorer exploded"):
+                batcher.submit(1)
+            assert batcher.submit(2) == 2  # batcher survives the failure
+        finally:
+            batcher.close()
+
+    def test_result_count_mismatch_is_an_error(self):
+        batcher = MicroBatcher(lambda items: [], max_batch_size=4,
+                               max_wait_ms=1.0)
+        try:
+            with pytest.raises(RuntimeError, match="results"):
+                batcher.submit(1)
+        finally:
+            batcher.close()
+
+    def test_submit_after_close_raises(self):
+        batcher = MicroBatcher(lambda items: items)
+        batcher.close()
+        with pytest.raises(RuntimeError):
+            batcher.submit(1)
+
+    def test_metrics_recorded(self):
+        metrics = MetricsRegistry()
+        batcher = MicroBatcher(lambda items: items, max_wait_ms=1.0,
+                               metrics=metrics)
+        try:
+            batcher.submit("x")
+        finally:
+            batcher.close()
+        assert metrics.observation_count("serve_batch_size") == 1
+        assert metrics.observation_count("serve_batch_wait_seconds") == 1
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda items: items, max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda items: items, max_wait_ms=-1.0)

@@ -1,11 +1,13 @@
 """Tests for model persistence and the CLI."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
 from repro.core import Causer, CauserConfig
-from repro.io import load_model, save_model
+from repro.io import load_model, registered_model_classes, save_model
 from repro.models import GRU4Rec, PopularityRecommender, TrainConfig, VTRNN
 
 
@@ -69,6 +71,48 @@ class TestSaveLoad:
             save_model(PopularityRecommender(5), tmp_path / "pop.npz")
 
 
+class TestCheckpointHeaders:
+    def _tampered(self, model, tmp_path, mutate):
+        """Save, rewrite the JSON header with ``mutate``, re-save."""
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        header = json.loads(bytes(arrays["header"]).decode("utf-8"))
+        mutate(header)
+        arrays["header"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8)
+        np.savez_compressed(str(path), **arrays)
+        return path
+
+    def test_unknown_class_is_a_clear_error(self, trained_causer, tmp_path):
+        path = self._tampered(trained_causer, tmp_path,
+                              lambda h: h.update({"class": "FancyModel"}))
+        with pytest.raises(ValueError, match="unknown model class"):
+            load_model(path)
+        with pytest.raises(ValueError, match=str(path)):
+            load_model(path)  # the message names the offending file
+
+    def test_format_version_mismatch(self, trained_causer, tmp_path):
+        path = self._tampered(
+            trained_causer, tmp_path,
+            lambda h: h.update({"format_version": 999}))
+        with pytest.raises(ValueError, match="format_version"):
+            load_model(path)
+
+    def test_missing_version_rejected(self, trained_causer, tmp_path):
+        """Pre-versioning archives are refused rather than mis-read."""
+        path = self._tampered(trained_causer, tmp_path,
+                              lambda h: h.pop("format_version"))
+        with pytest.raises(ValueError, match="format_version"):
+            load_model(path)
+
+    def test_registry_covers_every_class(self):
+        assert set(registered_model_classes()) == {
+            "Causer", "BERT4Rec", "BPR", "FPMC", "GRU4Rec", "HRNN",
+            "MMSARec", "NARM", "NCF", "SASRec", "STAMP", "VTRNN"}
+
+
 class TestCLI:
     def test_parser_accepts_experiments(self):
         parser = build_parser()
@@ -98,3 +142,39 @@ class TestCLI:
         assert code == 0
         out = capsys.readouterr().out
         assert "baby/gru" in out
+
+
+class TestTrainEvalServeCLI:
+    def test_parser_accepts_new_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["train", "--model", "GRU4Rec",
+                                  "--save-model", "ck.npz"])
+        assert (args.experiment, args.model, args.save_model) == \
+            ("train", "GRU4Rec", "ck.npz")
+        args = parser.parse_args(["eval", "--load-model", "ck.npz"])
+        assert args.load_model == "ck.npz"
+        args = parser.parse_args(["serve", "--checkpoint", "ck.npz",
+                                  "--port", "0", "--max-batch-size", "16",
+                                  "--max-wait-ms", "1.5",
+                                  "--session-capacity", "50"])
+        assert args.port == 0 and args.max_batch_size == 16
+        assert args.max_wait_ms == 1.5 and args.session_capacity == 50
+
+    def test_eval_requires_checkpoint(self):
+        with pytest.raises(SystemExit, match="--load-model"):
+            main(["eval", "--scale", "0.02", "--quick"])
+
+    def test_train_save_eval_roundtrip(self, tmp_path, capsys):
+        """``eval --load-model`` reproduces the training run's metrics."""
+        path = tmp_path / "gru.npz"
+        assert main(["train", "--scale", "0.02", "--quick",
+                     "--model", "GRU4Rec", "--save-model", str(path)]) == 0
+        train_out = capsys.readouterr().out
+        assert f"saved checkpoint: {path}" in train_out
+        assert main(["eval", "--load-model", str(path),
+                     "--scale", "0.02", "--quick"]) == 0
+        eval_out = capsys.readouterr().out
+        # Same split (same scale/seed), same weights → identical metrics.
+        train_metrics = train_out.split("F1@", 1)[1].splitlines()[0]
+        eval_metrics = eval_out.split("F1@", 1)[1].splitlines()[0]
+        assert train_metrics == eval_metrics
