@@ -5,6 +5,7 @@ state (everything flows through :class:`~repro.analysis.rules.base.LintContext`)
 """
 
 from .autograd import (GRAPH_LAYER_SUFFIXES, SANCTIONED_MUTATION_SUFFIXES,
+                       SPARSE_AWARE_SUFFIXES, DenseGradAssumptionRule,
                        GraphBypassRule, InPlaceMutationRule,
                        MissingUnbroadcastRule)
 from .base import LintContext, Rule, attribute_chain, contains_data_attribute
@@ -21,13 +22,15 @@ def all_rules():
         LegacyNumpyRandomRule(),
         SwallowedExceptionRule(),
         AllDriftRule(),
+        DenseGradAssumptionRule(),
     ]
 
 
 __all__ = [
     "Rule", "LintContext", "attribute_chain", "contains_data_attribute",
     "MissingUnbroadcastRule", "GraphBypassRule", "InPlaceMutationRule",
+    "DenseGradAssumptionRule",
     "LegacyNumpyRandomRule", "SwallowedExceptionRule", "AllDriftRule",
     "GRAPH_LAYER_SUFFIXES", "SANCTIONED_MUTATION_SUFFIXES",
-    "SANCTIONED_NP_RANDOM_CALLS", "all_rules",
+    "SPARSE_AWARE_SUFFIXES", "SANCTIONED_NP_RANDOM_CALLS", "all_rules",
 ]

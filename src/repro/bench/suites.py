@@ -16,6 +16,17 @@ incrementally-maintained session state saves over replaying the full
 history per request (summarised as ``incremental_vs_replay`` and recorded
 in ``BENCH_serve.json``).
 
+The ``optim`` suite measures the row-sparse gradient path
+(:mod:`repro.nn.sparse` + the lazy optimizers in :mod:`repro.nn.optim`):
+full embedding-table training steps as dense/sparse pairs at
+V ∈ {1k, 10k, 100k} (summarised as ``sparse_vs_dense_v*`` speedups and
+recorded in ``BENCH_optim.json``), plus an allocation probe comparing the
+in-place optimizer-state update against the legacy rebinding formulas.
+At V=1k the gather covers most of the table, the sparse path densifies
+automatically, and the pair documents the no-regression floor; at V=100k
+the dense path's ``O(V*d)`` scatter + state sweep dominates and the pair
+shows the headline speedup.
+
 The ``engine`` suite covers the loops Algorithm 1 spends its time in:
 
 * ``train_epoch_gru`` — the headline microbench: a full training epoch of a
@@ -197,6 +208,152 @@ def make_dag_constraint(quick: bool) -> Callable[[], object]:
         return total
 
     return workload
+
+
+# ----------------------------------------------------------------------
+# `optim` suite — the row-sparse gradient path at scaling vocabularies
+# ----------------------------------------------------------------------
+
+def make_optim_train_step(vocab: int, sparse: bool,
+                          quick: bool) -> Callable[[], object]:
+    """Full embedding-table train steps: gather → score → BCE → backward →
+    clip → SparseAdam, with the tables on the dense or sparse grad path.
+
+    The workload shape (B=128, T=16, d=64, 5 candidates) touches ~2k rows
+    per step, so the dense path pays ``O(V*d)`` in the scatter backward and
+    the optimizer sweep while the sparse path pays ``O(rows*d)``.
+    """
+    from ..nn import Parameter
+    from ..nn.functional import embedding_lookup
+    from ..nn.optim import SparseAdam
+    batch, seq_len, dim, cands = 128, 16, 64, 5
+    steps = 1 if quick else 2
+    rng = np.random.default_rng(41)
+    item_table = Parameter(rng.normal(size=(vocab, dim)) * 0.05)
+    out_table = Parameter(rng.normal(size=(vocab, dim)) * 0.05)
+    out_bias = Parameter(np.zeros(vocab))
+    for param in (item_table, out_table, out_bias):
+        param.sparse_grad = sparse
+    history = rng.integers(1, vocab, size=(batch, seq_len))
+    candidates = rng.integers(1, vocab, size=(batch, cands))
+    targets = np.zeros((batch, cands))
+    targets[:, 0] = 1.0
+    optimizer = SparseAdam([item_table, out_table, out_bias], lr=1e-3)
+
+    def workload() -> float:
+        total = 0.0
+        for _ in range(steps):
+            optimizer.zero_grad()
+            gathered = embedding_lookup(item_table, history)   # (B, T, d)
+            representation = gathered.mean(axis=1)             # (B, d)
+            cand_emb = embedding_lookup(out_table, candidates)  # (B, C, d)
+            logits = (cand_emb * representation.reshape(batch, 1, dim)
+                      ).sum(axis=-1) + out_bias[candidates]
+            loss = losses.bce_with_logits(logits, targets)
+            loss.backward()
+            optimizer.clip_grad_norm(5.0)
+            optimizer.step()
+            total += loss.item()
+        return total
+
+    return workload
+
+
+def make_state_alloc_probe(quick: bool):
+    """Dense Adam/Adagrad state handling: in-place vs legacy rebinding.
+
+    Measures (via ``tracemalloc``) the peak bytes allocated by one dense
+    optimizer step against a faithful re-creation of the pre-fix formulas
+    (``m = beta1*m + (1-beta1)*g`` and ``accum = accum + g**2``), which
+    re-allocated table-sized state arrays every step.  The measured peaks
+    land in the bench meta as ``step_peak_bytes_inplace`` /
+    ``step_peak_bytes_rebind`` next to ``table_bytes`` for scale.
+    """
+    import tracemalloc
+    from ..nn import Parameter
+    from ..nn.optim import Adagrad, Adam
+    vocab, dim = (2_000, 64) if quick else (10_000, 64)
+    steps = 2 if quick else 5
+    rng = np.random.default_rng(43)
+    param = Parameter(rng.normal(size=(vocab, dim)) * 0.05)
+    indices = rng.integers(0, vocab, size=(64, 20))
+    scale = Tensor(rng.normal(size=(64, 20, dim)))
+    adam = Adam([param], lr=1e-3)
+    adagrad = Adagrad([param], lr=1e-2)
+
+    def one_backward() -> None:
+        param.zero_grad()
+        ((param[indices] * scale).sum()).backward()
+
+    def run_steps(optimizer, count: int) -> None:
+        for _ in range(count):
+            one_backward()
+            optimizer.step()
+
+    def legacy_adam_step(weights: np.ndarray, m: np.ndarray,
+                         v: np.ndarray, grad: np.ndarray):
+        beta1, beta2, eps, lr, t = 0.9, 0.999, 1e-8, 1e-3, 3
+        m = beta1 * m + (1 - beta1) * grad
+        v = beta2 * v + (1 - beta2) * grad ** 2
+        bias1, bias2 = 1.0 - beta1 ** t, 1.0 - beta2 ** t
+        weights -= lr * (m / bias1) / (np.sqrt(v / bias2) + eps)
+        return m, v
+
+    # Warm both optimizers so state exists, then measure one steady step.
+    run_steps(adam, 2)
+    run_steps(adagrad, 2)
+    one_backward()
+    tracemalloc.start()
+    adam.step()
+    _, peak_inplace = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    weights = param.data.copy()
+    m_state = np.zeros_like(weights)
+    v_state = np.zeros_like(weights)
+    grad = rng.normal(size=weights.shape)
+    tracemalloc.start()
+    m_state, v_state = legacy_adam_step(weights, m_state, v_state, grad)
+    _, peak_rebind = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    extra_meta = {
+        "vocab": vocab, "dim": dim,
+        "table_bytes": int(param.data.nbytes),
+        "step_peak_bytes_inplace": int(peak_inplace),
+        "step_peak_bytes_rebind": int(peak_rebind),
+    }
+
+    def workload() -> float:
+        run_steps(adam, steps)
+        run_steps(adagrad, steps)
+        return float(param.data[0, 0])
+
+    return workload, extra_meta
+
+
+OPTIM_SUITE: Dict[str, Tuple[BenchFactory, int, Dict[str, object]]] = {
+    "train_step_dense_v1k": (
+        lambda quick: make_optim_train_step(1_000, False, quick), 5,
+        {"vocab": 1_000, "dim": 64, "batch": 128, "sparse": False}),
+    "train_step_sparse_v1k": (
+        lambda quick: make_optim_train_step(1_000, True, quick), 5,
+        {"vocab": 1_000, "dim": 64, "batch": 128, "sparse": True}),
+    "train_step_dense_v10k": (
+        lambda quick: make_optim_train_step(10_000, False, quick), 5,
+        {"vocab": 10_000, "dim": 64, "batch": 128, "sparse": False}),
+    "train_step_sparse_v10k": (
+        lambda quick: make_optim_train_step(10_000, True, quick), 5,
+        {"vocab": 10_000, "dim": 64, "batch": 128, "sparse": True}),
+    "train_step_dense_v100k": (
+        lambda quick: make_optim_train_step(100_000, False, quick), 3,
+        {"vocab": 100_000, "dim": 64, "batch": 128, "sparse": False,
+         "headline": True}),
+    "train_step_sparse_v100k": (
+        lambda quick: make_optim_train_step(100_000, True, quick), 3,
+        {"vocab": 100_000, "dim": 64, "batch": 128, "sparse": True,
+         "headline": True}),
+    "optimizer_state_alloc": (
+        make_state_alloc_probe, 3, {"kind": "alloc-probe"}),
+}
 
 
 # ----------------------------------------------------------------------
@@ -471,7 +628,23 @@ def suite_summary(suite: str,
     For the ``serve`` suite: the ``score_replay``/``score_incremental``
     speedup — how much the incrementally-maintained session state saves
     over replaying the full history at request time.
+
+    For the ``optim`` suite: one ``sparse_vs_dense_v*`` speedup per
+    dense/sparse train-step pair (dense mean / sparse mean), showing how
+    the row-sparse gradient path scales with vocabulary size.
     """
+    if suite == "optim":
+        by_name = {result.name: result for result in results}
+        speedups: Dict[str, float] = {}
+        for name, result in by_name.items():
+            if not name.startswith("train_step_dense_"):
+                continue
+            scale = name[len("train_step_dense_"):]
+            partner = by_name.get(f"train_step_sparse_{scale}")
+            if partner is not None and partner.mean_s > 0:
+                speedups[f"sparse_vs_dense_{scale}"] = (
+                    result.mean_s / partner.mean_s)
+        return {"speedups": speedups} if speedups else {}
     if suite == "serve":
         by_name = {result.name: result for result in results}
         incremental = by_name.get("score_incremental")
@@ -514,6 +687,7 @@ ENGINE_SUITE: Dict[str, Tuple[BenchFactory, int, Dict[str, object]]] = {
 
 SUITES: Dict[str, Dict[str, Tuple[BenchFactory, int, Dict[str, object]]]] = {
     "engine": ENGINE_SUITE,
+    "optim": OPTIM_SUITE,
     "parallel": PARALLEL_SUITE,
     "serve": SERVE_SUITE,
 }
@@ -536,8 +710,22 @@ def run_suite(suite: str = "engine", quick: bool = False,
         bench_repeats = repeats if repeats is not None else default_repeats
         if quick:
             bench_repeats = min(bench_repeats, 2)
+        merged_meta: Dict[str, object] = {**meta, "quick": quick}
+
+        # A factory may return either the workload callable or a
+        # ``(workload, extra_meta)`` pair when setup itself measures
+        # something worth recording (e.g. the allocation probe).  The
+        # build runs before ``time_workload`` snapshots the meta dict,
+        # so updating it here lands in the result document.
+        def build(factory=factory, merged_meta=merged_meta):
+            built = factory(quick)
+            if isinstance(built, tuple):
+                workload, extra_meta = built
+                merged_meta.update(extra_meta)
+                return workload
+            return built
+
         results.append(time_workload(
-            name, lambda factory=factory: factory(quick),
-            warmup=warmup, repeats=bench_repeats,
-            meta={**meta, "quick": quick}))
+            name, build, warmup=warmup, repeats=bench_repeats,
+            meta=merged_meta))
     return results

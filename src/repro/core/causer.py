@@ -429,6 +429,7 @@ class Causer(NeuralSequentialRecommender):
         if not samples:
             raise ValueError(f"{self.name}: no training samples")
         cfg = self.config
+        self.set_sparse_grads(cfg.sparse_grads)
         if cfg.pretrain_graph and cfg.use_causal:
             self._seed_graph(samples)
         causal_params = list(self.clusters.parameters()) + list(

@@ -64,6 +64,7 @@ class FPMC(Recommender, Module):
         transitions = self._transitions(corpus)
         if not transitions:
             raise ValueError("FPMC: no basket transitions in corpus")
+        self.set_sparse_grads(cfg.sparse_grads)
         optimizer = make_optimizer(cfg.optimizer, self.parameters(),
                                    lr=cfg.learning_rate,
                                    weight_decay=cfg.weight_decay)

@@ -20,7 +20,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .tensor import Tensor, _stable_sigmoid
+from .sparse import rowsparse_from_gather
+from .tensor import Tensor, _scatter_add, _stable_sigmoid
 
 
 def fused_gru_step(x: Tensor, h: Tensor, w_ih: Tensor, w_hh: Tensor,
@@ -438,3 +439,33 @@ def fused_lstm_sequence(inputs: Tensor, h0: Tensor, c0: Tensor,
 
     return Tensor._make(states_data, (inputs, h0, c0, w_ih, w_hh, bias),
                         backward)
+
+
+def fused_embedding_gather(weight: Tensor, indices: np.ndarray,
+                           sparse: Optional[bool] = None) -> Tensor:
+    """Row gather ``weight[indices]`` with a representation-aware backward.
+
+    The dense backward materializes a full ``(V, d)`` zero table and
+    scatter-adds into it — ``O(V*d)`` per step.  With ``sparse`` true (or
+    left to follow ``weight.sparse_grad``), the backward instead coalesces
+    the touched rows into a :class:`repro.nn.sparse.RowSparseGrad`, whose
+    row values are bit-identical to the dense scatter's rows (see the
+    numerical contract in :mod:`repro.nn.sparse`); gathers covering most of
+    the table fall back to the dense array automatically.
+    """
+    idx = np.asarray(indices, dtype=np.int64)
+    out_data = weight.data[idx]
+    use_sparse = weight.sparse_grad if sparse is None else bool(sparse)
+
+    def backward(grad: np.ndarray) -> None:
+        if not weight.requires_grad:
+            return
+        if use_sparse:
+            weight._accumulate(
+                rowsparse_from_gather(weight.data.shape, idx, grad), own=True)
+        else:
+            full = np.zeros(weight.data.shape)
+            _scatter_add(full, idx, grad)
+            weight._accumulate(full, own=True)
+
+    return Tensor._make(out_data, (weight,), backward)

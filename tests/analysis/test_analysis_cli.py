@@ -11,7 +11,7 @@ import pytest
 
 from repro.analysis.cli import main
 
-RULE_IDS = ("GL001", "GL002", "GL003", "GL004", "GL005", "GL006")
+RULE_IDS = ("GL001", "GL002", "GL003", "GL004", "GL005", "GL006", "GL007")
 
 
 @pytest.fixture
@@ -35,13 +35,14 @@ def violating_tree(tmp_path):
     # GL006: phantom export.
     (pkg / "__init__.py").write_text(
         'from .trainer import fit\n\n__all__ = ["fit", "predict"]\n')
-    # GL003 + GL004 + GL005 in one training module.
+    # GL003 + GL004 + GL005 + GL007 in one training module.
     (pkg / "trainer.py").write_text(textwrap.dedent("""
         import numpy as np
 
         def fit(model):
             noise = np.random.randn(4)
             model.weight.data[...] = noise
+            norm = (model.weight.grad ** 2).sum()
             try:
                 model.step()
             except:

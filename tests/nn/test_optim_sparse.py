@@ -1,0 +1,387 @@
+"""Row-sparse gradient path: representation, engine parity, lazy optimizers.
+
+The load-bearing guarantee is *bit* equivalence, not mere closeness:
+wherever the docstring contract in :mod:`repro.nn.optim` promises the lazy
+row path matches the dense optimizer, these tests assert
+``np.array_equal`` on whole trajectories, so any reformulation of the
+update arithmetic (rebinding instead of in-place, numpy pow instead of
+Python pow, per-row instead of global bias correction) shows up as a hard
+failure rather than tolerance creep.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitizer import (GradientAnomalyError,
+                                      GradientSanitizer, detect_anomaly)
+from repro.models import GRU4Rec, TrainConfig
+from repro.nn import (Adagrad, Adam, Parameter, RowSparseGrad, SGD,
+                      SparseAdam, Tensor, densify_grad, make_optimizer,
+                      rowsparse_from_gather)
+from repro.nn.functional import embedding_lookup
+
+RNG = np.random.default_rng
+
+
+def sparse_of(dense_grad, rows, shape):
+    """Build the RowSparseGrad equivalent of ``dense_grad`` on ``rows``."""
+    rows = np.asarray(rows, dtype=np.int64)
+    return RowSparseGrad(rows.copy(),
+                         np.ascontiguousarray(dense_grad[rows]), shape)
+
+
+# ----------------------------------------------------------------------
+# Representation: coalescing, merge, densify fallback, pickling
+# ----------------------------------------------------------------------
+class TestRowSparseGrad:
+    def test_coalesce_matches_dense_scatter_bitwise(self):
+        """Duplicate rows sum in the same order as the dense scatter."""
+        rng = RNG(0)
+        shape = (64, 5)
+        index = rng.integers(0, 8, size=37)  # heavy duplication
+        upstream = rng.normal(size=(37, 5))
+        sparse = rowsparse_from_gather(shape, index, upstream,
+                                       densify_fraction=1.01)
+        dense = np.zeros(shape)
+        np.add.at(dense, index, upstream)  # element-order accumulation
+        assert isinstance(sparse, RowSparseGrad)
+        # np.add.at and the composite bincount both accumulate per-row in
+        # input order, so the touched rows must agree to the last ulp.
+        assert np.array_equal(sparse.densify(), dense)
+        assert np.array_equal(sparse.indices, np.unique(index))
+
+    def test_merge_reproduces_dense_accumulation_order(self):
+        rng = RNG(1)
+        shape = (32, 3)
+        a = rowsparse_from_gather(shape, rng.integers(0, 6, 11),
+                                  rng.normal(size=(11, 3)),
+                                  densify_fraction=1.01)
+        b = rowsparse_from_gather(shape, rng.integers(3, 9, 7),
+                                  rng.normal(size=(7, 3)),
+                                  densify_fraction=1.01)
+        merged = a.merge(b)
+        reference = a.densify()
+        reference += b.densify()  # dense `grad += update` order
+        assert np.array_equal(merged.densify(), reference)
+
+    def test_densify_fallback_threshold(self):
+        shape = (10, 2)
+        grad = np.ones((6, 2))
+        wide = rowsparse_from_gather(shape, np.arange(6), grad)
+        assert isinstance(wide, np.ndarray)  # 6 >= 0.5 * 10 rows
+        narrow = rowsparse_from_gather(shape, np.array([1, 1, 2, 3, 3, 3]),
+                                       grad)
+        assert isinstance(narrow, RowSparseGrad)  # 3 < 0.5 * 10 rows
+        forced = rowsparse_from_gather(shape, np.arange(6), grad,
+                                       densify_fraction=1.01)
+        assert isinstance(forced, RowSparseGrad)
+        assert np.array_equal(forced.densify(), wide)
+
+    def test_pickle_round_trips_both_objects(self):
+        grad = RowSparseGrad(np.array([2, 5], dtype=np.int64),
+                             np.arange(6.0).reshape(2, 3), (8, 3))
+        back = pickle.loads(pickle.dumps(grad))
+        assert np.array_equal(back.indices, grad.indices)
+        assert np.array_equal(back.values, grad.values)
+        assert back.shape == grad.shape
+
+        tensor = Parameter(np.zeros((4, 2)))
+        tensor.sparse_grad = True
+        assert pickle.loads(pickle.dumps(tensor)).sparse_grad is True
+        # Pre-sparse pickles carried a 4-tuple state; the flag defaults off.
+        legacy = Tensor.__new__(Tensor)
+        legacy.__setstate__((np.zeros(2), None, True, None))
+        assert legacy.sparse_grad is False
+
+
+# ----------------------------------------------------------------------
+# Engine: gather backward parity and accumulation
+# ----------------------------------------------------------------------
+class TestGatherBackward:
+    def test_sparse_gather_grad_matches_dense_bitwise(self):
+        rng = RNG(2)
+        data = rng.normal(size=(200, 4))
+        index = rng.integers(0, 200, size=(6, 9))  # duplicates across batch
+        coeff = Tensor(rng.normal(size=(6, 9, 4)))
+        dense_p, sparse_p = Parameter(data.copy()), Parameter(data.copy())
+        sparse_p.sparse_grad = True
+        ((dense_p[index] * coeff).sum()).backward()
+        ((sparse_p[index] * coeff).sum()).backward()
+        assert isinstance(sparse_p.grad, RowSparseGrad)
+        assert np.array_equal(densify_grad(sparse_p.grad), dense_p.grad)
+
+    def test_embedding_lookup_takes_sparse_path(self):
+        weight = Parameter(RNG(3).normal(size=(100, 8)))
+        weight.sparse_grad = True
+        out = embedding_lookup(weight, np.array([[3, 7, 7]]))
+        out.sum().backward()
+        assert isinstance(weight.grad, RowSparseGrad)
+        assert weight.grad.nnz_rows == 2
+
+    def test_mixed_sparse_and_dense_accumulation(self):
+        """A param fed by a gather AND a dense op ends with a dense grad."""
+        rng = RNG(4)
+        data = rng.normal(size=(50, 3))
+        index = rng.integers(0, 50, size=12)
+        other = Tensor(rng.normal(size=(50, 3)))
+        dense_p, sparse_p = Parameter(data.copy()), Parameter(data.copy())
+        sparse_p.sparse_grad = True
+        for param in (dense_p, sparse_p):
+            loss = (param[index].sum() * 2.0) + (param * other).sum()
+            loss.backward()
+        assert isinstance(sparse_p.grad, np.ndarray)
+        assert np.array_equal(sparse_p.grad, dense_p.grad)
+
+
+# ----------------------------------------------------------------------
+# Lazy optimizers: bit-identical trajectories
+# ----------------------------------------------------------------------
+def run_pair(optim_factory, touch_rows_fn, vocab=24, dim=3, steps=12,
+             seed=7):
+    """Run dense vs sparse twins and yield per-step parameter pairs.
+
+    ``touch_rows_fn(step)`` returns the sorted unique rows touched at that
+    step; the dense twin sees the densified gradient (zeros elsewhere),
+    the sparse twin sees the RowSparseGrad.
+    """
+    rng = RNG(seed)
+    init = rng.normal(size=(vocab, dim))
+    dense_p, sparse_p = Parameter(init.copy()), Parameter(init.copy())
+    opt_d, opt_s = optim_factory(dense_p), optim_factory(sparse_p)
+    shape = (vocab, dim)
+    for step in range(steps):
+        rows = np.asarray(touch_rows_fn(step), dtype=np.int64)
+        grad = np.zeros(shape)
+        grad[rows] = rng.normal(size=(rows.size, dim))
+        dense_p.grad = grad
+        sparse_p.grad = sparse_of(grad, rows, shape)
+        opt_d.step()
+        opt_s.step()
+        yield step, dense_p.data, sparse_p.data
+
+
+class TestBitIdenticalTrajectories:
+    FULL_FACTORIES = [
+        lambda p: SGD([p], lr=0.05),
+        lambda p: SGD([p], lr=0.05, momentum=0.9, weight_decay=1e-2),
+        lambda p: SparseAdam([p], lr=1e-2, weight_decay=1e-2),
+        lambda p: Adam([p], lr=1e-2),
+        lambda p: Adagrad([p], lr=0.1),
+    ]
+
+    @pytest.mark.parametrize("factory", FULL_FACTORIES)
+    def test_full_coverage_matches_dense(self, factory):
+        """Every row touched every step: all optimizers are bit-exact."""
+        vocab = 24
+        for step, dense, sparse in run_pair(factory,
+                                            lambda _: np.arange(vocab),
+                                            vocab=vocab):
+            assert np.array_equal(dense, sparse), f"diverged at step {step}"
+
+    @pytest.mark.parametrize("factory", [
+        lambda p: SGD([p], lr=0.05),
+        lambda p: Adagrad([p], lr=0.1),
+    ])
+    def test_partial_coverage_sgd_adagrad(self, factory):
+        """Plain SGD/Adagrad are bit-exact under ANY touch pattern."""
+        rng = RNG(11)
+        patterns = [np.unique(rng.integers(0, 24, size=6))
+                    for _ in range(12)]
+        for step, dense, sparse in run_pair(factory,
+                                            lambda s: patterns[s]):
+            assert np.array_equal(dense, sparse), f"diverged at step {step}"
+
+    def test_adam_staggered_suffix_and_frozen_rows(self):
+        """Rows entering at different steps, then touched every step,
+        follow the dense trajectory bit-for-bit; never-touched rows stay
+        bitwise frozen at their initial values."""
+        vocab, dim = 8, 3
+        first_touch = np.array([1, 1, 3, 5, 9, 2, 7, 99])  # row 7: never
+        init_snapshot = {}
+
+        def touched(step):
+            return np.flatnonzero(first_touch <= step + 1)
+
+        factory = lambda p: SparseAdam([p], lr=1e-2)
+        for step, dense, sparse in run_pair(factory, touched, vocab=vocab,
+                                            dim=dim, steps=12):
+            if step == 0:
+                init_snapshot["frozen"] = sparse[7].copy()
+            assert np.array_equal(dense, sparse), f"diverged at step {step}"
+        assert np.array_equal(sparse[7], init_snapshot["frozen"])
+
+    def test_adam_dense_grad_on_sparse_tracked_param(self):
+        """A dense grad arriving after sparse steps touches every row and
+        keeps the trajectory aligned with the all-dense twin."""
+        vocab = 16
+
+        def touched(step):
+            return np.arange(vocab) if step >= 3 else np.array([1, 4, 9])
+
+        rng = RNG(13)
+        init = rng.normal(size=(vocab, 2))
+        dense_p, sparse_p = Parameter(init.copy()), Parameter(init.copy())
+        opt_d, opt_s = Adam([dense_p], lr=1e-2), Adam([sparse_p], lr=1e-2)
+        for step in range(8):
+            rows = touched(step)
+            grad = np.zeros((vocab, 2))
+            grad[rows] = rng.normal(size=(rows.size, 2))
+            dense_p.grad = grad
+            if step >= 3:
+                sparse_p.grad = grad.copy()  # dense representation
+            else:
+                sparse_p.grad = sparse_of(grad, rows, (vocab, 2))
+            opt_d.step()
+            opt_s.step()
+            # Rows touched every step since their first touch stay exact.
+            assert np.array_equal(dense_p.data[[1, 4, 9]],
+                                  sparse_p.data[[1, 4, 9]])
+
+
+# ----------------------------------------------------------------------
+# Clipping, state keying, in-place state
+# ----------------------------------------------------------------------
+class TestClipAndState:
+    def test_clip_grad_norm_sparse_dense_parity(self):
+        """Integer-valued grads make both sums exact → identical norms
+        and bit-identical clipped gradients."""
+        rng = RNG(17)
+        shape = (40, 4)
+        rows = np.unique(rng.integers(0, 40, size=9))
+        grad = np.zeros(shape)
+        grad[rows] = rng.integers(-5, 6, size=(rows.size, 4)).astype(float)
+        dense_p, sparse_p = Parameter(np.zeros(shape)), Parameter(
+            np.zeros(shape))
+        dense_p.grad = grad.copy()
+        sparse_p.grad = sparse_of(grad, rows, shape)
+        norm_d = SGD([dense_p], lr=0.1).clip_grad_norm(2.0)
+        norm_s = SGD([sparse_p], lr=0.1).clip_grad_norm(2.0)
+        assert norm_d == norm_s
+        assert np.array_equal(densify_grad(sparse_p.grad), dense_p.grad)
+
+    def test_state_keyed_by_index_not_id(self):
+        """Two same-shaped params must never share state buffers — the old
+        ``id(param)``-keyed dicts aliased state when the allocator reused
+        an address."""
+        init = np.ones((6, 2))
+        p0, p1 = Parameter(init.copy()), Parameter(init.copy())
+        opt = Adam([p0, p1], lr=1e-2)
+        p0.grad = np.full((6, 2), 0.5)
+        p1.grad = np.full((6, 2), -2.0)
+        opt.step()
+        assert set(opt._m.keys()) == {0, 1}
+        assert opt._m[0] is not opt._m[1]
+        assert not np.array_equal(opt._m[0], opt._m[1])
+        # Recreating a param (allowing id() reuse) must not leak state.
+        del p0
+        p2 = Parameter(init.copy())
+        opt2 = Adagrad([p2], lr=0.1)
+        p2.grad = np.ones((6, 2))
+        opt2.step()
+        assert set(opt2._accum.keys()) == {0}
+        assert np.array_equal(opt2._accum[0], np.ones((6, 2)))
+
+    @pytest.mark.parametrize("factory,state_attr", [
+        (lambda p: SGD([p], lr=0.05, momentum=0.9), "_velocity"),
+        (lambda p: Adam([p], lr=1e-2), "_m"),
+        (lambda p: Adam([p], lr=1e-2), "_v"),
+        (lambda p: Adagrad([p], lr=0.1), "_accum"),
+    ])
+    def test_state_updated_in_place(self, factory, state_attr):
+        """The fixed ``accum += g**2`` (vs legacy ``accum = accum + g**2``)
+        must keep the same buffer across steps — no per-step reallocation
+        of table-sized state."""
+        param = Parameter(np.ones((50, 4)))
+        opt = factory(param)
+        rng = RNG(19)
+        param.grad = rng.normal(size=(50, 4))
+        opt.step()
+        buffer_id = id(getattr(opt, state_attr)[0])
+        for _ in range(3):
+            param.grad = rng.normal(size=(50, 4))
+            opt.step()
+            assert id(getattr(opt, state_attr)[0]) == buffer_id
+
+
+# ----------------------------------------------------------------------
+# Sanitizer: sparse-gradient contract checks
+# ----------------------------------------------------------------------
+class TestSanitizerSparse:
+    def test_clean_sparse_backward_passes(self):
+        with detect_anomaly():
+            weight = Parameter(RNG(23).normal(size=(60, 3)))
+            weight.sparse_grad = True
+            (weight[np.array([2, 5, 5])].sum()).backward()
+        assert isinstance(weight.grad, RowSparseGrad)
+
+    def test_shape_violation_reported(self):
+        sanitizer = GradientSanitizer()
+        target = Parameter(np.zeros((5, 2)))
+        wrong = RowSparseGrad(np.array([0], dtype=np.int64),
+                              np.ones((1, 2)), (4, 2))
+        with pytest.raises(GradientAnomalyError) as err:
+            sanitizer.on_accumulate(target, wrong)
+        assert err.value.kind == "shape"
+
+    def test_out_of_range_rows_reported(self):
+        sanitizer = GradientSanitizer()
+        target = Parameter(np.zeros((5, 2)))
+        oob = RowSparseGrad(np.array([7], dtype=np.int64),
+                            np.ones((1, 2)), (5, 2))
+        with pytest.raises(GradientAnomalyError) as err:
+            sanitizer.on_accumulate(target, oob)
+        assert err.value.kind == "shape"
+        assert "out-of-range" in str(err.value)
+
+    def test_non_finite_rows_named(self):
+        sanitizer = GradientSanitizer()
+        target = Parameter(np.zeros((10, 2)))
+        values = np.ones((3, 2))
+        values[1, 0] = np.nan  # poisons row id 6
+        bad = RowSparseGrad(np.array([2, 6, 9], dtype=np.int64),
+                            values, (10, 2))
+        with pytest.raises(GradientAnomalyError) as err:
+            sanitizer.on_accumulate(target, bad)
+        assert err.value.kind == "gradient"
+        assert "[6]" in str(err.value)
+
+
+# ----------------------------------------------------------------------
+# Wiring: config flag, module toggle, model-level equivalence
+# ----------------------------------------------------------------------
+class TestModelWiring:
+    def test_train_config_defaults_sparse_on(self):
+        assert TrainConfig().sparse_grads is True
+
+    def test_set_sparse_grads_toggles_embeddings(self, tiny_dataset):
+        cfg = TrainConfig(embedding_dim=8, hidden_dim=8, seed=0)
+        model = GRU4Rec(tiny_dataset.corpus.num_users,
+                        tiny_dataset.num_items, cfg)
+        model.set_sparse_grads(True)
+        assert model.item_embedding.weight.sparse_grad is True
+        assert model.output_bias.sparse_grad is True
+        model.set_sparse_grads(False)
+        assert model.item_embedding.weight.sparse_grad is False
+        assert model.output_bias.sparse_grad is False
+
+    def test_make_optimizer_knows_sparseadam(self):
+        param = Parameter(np.zeros(3))
+        opt = make_optimizer("sparseadam", [param], lr=1e-3)
+        assert isinstance(opt, SparseAdam)
+
+    def test_model_training_equivalent_sparse_vs_dense(self, tiny_dataset,
+                                                       tiny_split):
+        scores = {}
+        for sparse in (False, True):
+            cfg = TrainConfig(embedding_dim=8, hidden_dim=8, num_epochs=2,
+                              batch_size=64, max_history=8, seed=0,
+                              sparse_grads=sparse)
+            model = GRU4Rec(tiny_dataset.corpus.num_users,
+                            tiny_dataset.num_items, cfg)
+            fit = model.fit(tiny_split.train)
+            assert np.isfinite(fit.final_loss)
+            scores[sparse] = model.score_samples(tiny_split.test[:4])
+        np.testing.assert_allclose(scores[True], scores[False],
+                                   rtol=1e-6, atol=1e-8)
