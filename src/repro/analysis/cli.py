@@ -8,6 +8,7 @@ Usage::
     python -m repro.analysis --list-rules        # rule catalogue
     python -m repro.analysis src --select GL004  # only some rules
     python -m repro.analysis src --ignore GL006
+    python -m repro.analysis src --rules CL      # one rule family (racelint)
 
 Exit status: 0 when no unsuppressed finding remains, 1 otherwise — wire it
 as a blocking CI step next to the test suite.
@@ -36,6 +37,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run only these rule ids (e.g. GL001 GL004)")
     parser.add_argument("--ignore", nargs="+", metavar="RULE", default=None,
                         help="skip these rule ids")
+    parser.add_argument("--rules", nargs="+", metavar="FAMILY", default=None,
+                        help="run only rule families with these id prefixes "
+                             "(e.g. CL for racelint, GL for gradlint)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     return parser
@@ -57,7 +61,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_rules:
         print(format_rule_catalogue())
         return 0
-    engine = LintEngine(select=args.select, ignore=args.ignore)
+    engine = LintEngine(select=args.select, ignore=args.ignore,
+                        families=args.rules)
     if not engine.rules:
         print("gradlint: no rules selected")
         return 2

@@ -105,8 +105,12 @@ class LintEngine:
 
     def __init__(self, rules: Optional[Sequence[Rule]] = None,
                  select: Optional[Iterable[str]] = None,
-                 ignore: Optional[Iterable[str]] = None) -> None:
+                 ignore: Optional[Iterable[str]] = None,
+                 families: Optional[Iterable[str]] = None) -> None:
         rules = list(rules) if rules is not None else all_rules()
+        if families is not None:
+            prefixes = tuple(f.upper() for f in families)
+            rules = [r for r in rules if r.id.startswith(prefixes)]
         if select is not None:
             wanted = {r.upper() for r in select}
             rules = [r for r in rules if r.id in wanted]

@@ -14,6 +14,15 @@ from typing import Dict, List, Sequence
 
 SEVERITIES = ("error", "warning")
 
+#: JSON report schema identifier.  v2 added the per-finding ``family``
+#: field and the top-level per-family counts alongside the CL rule family.
+JSON_SCHEMA = "repro.analysis/v2"
+
+
+def rule_family(rule_id: str) -> str:
+    """Alphabetic prefix of a rule id: ``GL001 -> GL``, ``CL004 -> CL``."""
+    return rule_id.rstrip("0123456789")
+
 
 @dataclass(frozen=True, order=True)
 class Finding:
@@ -26,6 +35,10 @@ class Finding:
     severity: str
     message: str
 
+    @property
+    def family(self) -> str:
+        return rule_family(self.rule_id)
+
     def render(self) -> str:
         return (f"{self.path}:{self.line}:{self.col}: "
                 f"{self.rule_id} [{self.severity}] {self.message}")
@@ -36,6 +49,7 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "rule": self.rule_id,
+            "family": self.family,
             "severity": self.severity,
             "message": self.message,
         }
@@ -76,12 +90,21 @@ class Report:
             return summary + " — clean"
         return "\n".join(lines + ["", summary])
 
+    def families(self) -> Dict[str, int]:
+        """Finding counts per rule family (``{"GL": 3, "CL": 1}``)."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.family] = counts.get(finding.family, 0) + 1
+        return dict(sorted(counts.items()))
+
     def render_json(self) -> str:
         payload = {
+            "schema": JSON_SCHEMA,
             "files_checked": self.files_checked,
             "errors": self.count("error"),
             "warnings": self.count("warning"),
             "suppressed": self.suppressed,
+            "families": self.families(),
             "findings": [f.to_dict() for f in sorted(self.findings)],
         }
         return json.dumps(payload, indent=2)

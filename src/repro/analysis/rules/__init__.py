@@ -9,12 +9,16 @@ from .autograd import (GRAPH_LAYER_SUFFIXES, SANCTIONED_MUTATION_SUFFIXES,
                        GraphBypassRule, InPlaceMutationRule,
                        MissingUnbroadcastRule)
 from .base import LintContext, Rule, attribute_chain, contains_data_attribute
+from .concurrency import (LOCK_FACTORY_NAMES, LOCK_PROXY_SUFFIXES,
+                          MUTATING_METHODS, BareAcquireRule,
+                          BlockingCallUnderLockRule, LockOrderInversionRule,
+                          ThreadOwnershipRule, UnguardedSharedMutationRule)
 from .hygiene import (SANCTIONED_NP_RANDOM_CALLS, AllDriftRule,
                       LegacyNumpyRandomRule, SwallowedExceptionRule)
 
 
 def all_rules():
-    """Fresh instances of every registered rule, ordered by id."""
+    """Fresh instances of every registered rule, ordered by family then id."""
     return [
         MissingUnbroadcastRule(),
         GraphBypassRule(),
@@ -23,6 +27,11 @@ def all_rules():
         SwallowedExceptionRule(),
         AllDriftRule(),
         DenseGradAssumptionRule(),
+        UnguardedSharedMutationRule(),
+        BareAcquireRule(),
+        BlockingCallUnderLockRule(),
+        LockOrderInversionRule(),
+        ThreadOwnershipRule(),
     ]
 
 
@@ -31,6 +40,11 @@ __all__ = [
     "MissingUnbroadcastRule", "GraphBypassRule", "InPlaceMutationRule",
     "DenseGradAssumptionRule",
     "LegacyNumpyRandomRule", "SwallowedExceptionRule", "AllDriftRule",
+    "UnguardedSharedMutationRule", "BareAcquireRule",
+    "BlockingCallUnderLockRule", "LockOrderInversionRule",
+    "ThreadOwnershipRule",
     "GRAPH_LAYER_SUFFIXES", "SANCTIONED_MUTATION_SUFFIXES",
-    "SPARSE_AWARE_SUFFIXES", "SANCTIONED_NP_RANDOM_CALLS", "all_rules",
+    "SPARSE_AWARE_SUFFIXES", "SANCTIONED_NP_RANDOM_CALLS",
+    "LOCK_FACTORY_NAMES", "LOCK_PROXY_SUFFIXES", "MUTATING_METHODS",
+    "all_rules",
 ]

@@ -1,0 +1,581 @@
+"""Concurrency lint rules (CL001–CL005) — the racelint family.
+
+The serve and parallel layers keep served scores bitwise-equal to offline
+eval under concurrent mutation (hot swaps, per-user session appends,
+micro-batch scoring).  That contract is enforced by a small set of locks,
+and these rules police the locking discipline statically:
+
+* CL001 — a class that owns a ``threading.Lock``/``RLock``/``Condition``
+  mutates underscore-prefixed shared state outside a ``with self._lock:``
+  block;
+* CL002 — bare ``.acquire()``/``.release()`` pairs instead of ``with``
+  (not exception-safe, invisible to the lock-order analysis);
+* CL003 — a blocking call (thread/worker ``join``, queue ``get``/``put``,
+  ``time.sleep``, foreign ``wait``, socket I/O) while holding a lock;
+* CL004 — inconsistent lock acquisition order: the static lock-order
+  graph built from nested ``with`` blocks contains a cycle;
+* CL005 — a ``Thread``/``Process`` constructed without an explicit
+  ``daemon=`` argument (lifecycle ownership must be stated).
+
+Two conventions keep intentional patterns lint-clean without suppressions:
+
+* methods whose name ends in ``_locked`` are exempt from CL001 — the
+  suffix documents the "caller holds the lock" contract;
+* ``threading.local()`` attributes are exempt from CL001 — they are
+  thread-private by construction.
+
+Everything else uses the standard ``# gradlint: disable=CL00x — why``
+suppression syntax.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..report import Finding
+from .base import LintContext, Rule, attribute_chain
+
+#: ``threading``/``multiprocessing`` factories whose result is a lock the
+#: class is considered to *own* (CL001 applies, ``with self.<attr>:`` guards).
+LOCK_FACTORY_NAMES = frozenset({
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"})
+
+#: Factories whose result is thread-private state — exempt from CL001.
+THREADLOCAL_FACTORY_NAMES = frozenset({"local"})
+
+#: Container methods that mutate their receiver in place (CL001 scope).
+MUTATING_METHODS = frozenset({
+    "append", "appendleft", "extend", "insert", "remove", "pop", "popitem",
+    "clear", "update", "setdefault", "add", "discard", "move_to_end",
+    "sort", "reverse"})
+
+#: Name fragments that mark a ``with`` context expression as lock-like even
+#: without class-level ownership information (CL003/CL004 scope).
+LOCKISH_NAME_TOKENS = ("lock", "cond", "mutex", "sem")
+
+#: Files implementing the lock instrumentation layer itself: the runtime
+#: thread sanitizer must delegate ``acquire``/``release``/``wait`` to the
+#: locks it proxies, which is exactly what CL002/CL003 forbid elsewhere.
+LOCK_PROXY_SUFFIXES = ("analysis/concurrency.py",)
+
+
+# ----------------------------------------------------------------------
+# Module / class lock model
+# ----------------------------------------------------------------------
+def _import_model(tree: ast.Module) -> Tuple[Set[str], Dict[str, str]]:
+    """(module aliases for threading/multiprocessing, direct factory names).
+
+    ``import threading as t`` contributes ``"t"`` to the alias set;
+    ``from threading import Lock as L`` contributes ``{"L": "Lock"}``.
+    """
+    modules: Set[str] = set()
+    direct: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in ("threading", "multiprocessing"):
+                    modules.add(alias.asname or root)
+        elif isinstance(node, ast.ImportFrom):
+            if (node.module or "").split(".")[0] not in ("threading",
+                                                         "multiprocessing"):
+                continue
+            for alias in node.names:
+                direct[alias.asname or alias.name] = alias.name
+    return modules, direct
+
+
+def _factory_of(value: ast.AST, modules: Set[str],
+                direct: Dict[str, str]) -> Optional[str]:
+    """Factory name (``"Lock"``, ``"local"``, ...) when ``value`` is a call
+    to a threading/multiprocessing constructor, else ``None``."""
+    if not isinstance(value, ast.Call):
+        return None
+    chain = attribute_chain(value.func)
+    if not chain:
+        return None
+    parts = chain.split(".")
+    if len(parts) == 1 and parts[0] in direct:
+        return direct[parts[0]]
+    if len(parts) == 2 and parts[0] in modules:
+        return parts[1]
+    return None
+
+
+def _class_lock_model(cls: ast.ClassDef, modules: Set[str],
+                      direct: Dict[str, str]) -> Tuple[Set[str], Set[str]]:
+    """(lock attrs, thread-local attrs) assigned anywhere in the class."""
+    locks: Set[str] = set()
+    locals_: Set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        factory = _factory_of(node.value, modules, direct)
+        if factory is None:
+            continue
+        for target in node.targets:
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                if factory in LOCK_FACTORY_NAMES:
+                    locks.add(target.attr)
+                elif factory in THREADLOCAL_FACTORY_NAMES:
+                    locals_.add(target.attr)
+    return locks, locals_
+
+
+def _self_root_attr(node: ast.AST) -> Optional[str]:
+    """First attribute above ``self`` in a ``self.<a>(.b | [i])*`` chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        parent = node.value
+        if (isinstance(node, ast.Attribute)
+                and isinstance(parent, ast.Name) and parent.id == "self"):
+            return node.attr
+        node = parent
+    return None
+
+
+def _with_guards_self(node: ast.With, lock_attrs: Set[str]) -> bool:
+    """True when any ``with`` item is a bare ``self.<owned lock>``."""
+    for item in node.items:
+        expr = item.context_expr
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self" and expr.attr in lock_attrs):
+            return True
+    return False
+
+
+def _lock_identity(expr: ast.AST, class_name: Optional[str],
+                   lock_attrs: Set[str]) -> Optional[Tuple[str, str]]:
+    """``(identity, display)`` when ``expr`` names a lock, else ``None``.
+
+    Identity is class-qualified for ``self.<attr>`` (so two methods of one
+    class agree on the node name); display is the source spelling.
+    """
+    chain = attribute_chain(expr)
+    if not chain:
+        return None
+    is_self_attr = (isinstance(expr, ast.Attribute)
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self")
+    if is_self_attr and expr.attr in lock_attrs:
+        qualifier = class_name or "<module>"
+        return f"{qualifier}.{expr.attr}", chain
+    last = chain.split(".")[-1].lower()
+    if any(token in last for token in LOCKISH_NAME_TOKENS):
+        if is_self_attr and class_name:
+            return f"{class_name}.{expr.attr}", chain
+        return chain, chain
+    return None
+
+
+# ----------------------------------------------------------------------
+# CL001 — unguarded mutation of shared state in lock-owning classes
+# ----------------------------------------------------------------------
+class UnguardedSharedMutationRule(Rule):
+    """CL001 — write to ``self._*`` shared state outside ``with self._lock:``.
+
+    Scope: classes that own at least one threading lock.  ``__init__`` is
+    exempt (construction happens-before publication), as are methods whose
+    name ends in ``_locked`` (the caller-holds-the-lock convention) and
+    ``threading.local()`` attributes (thread-private).
+    """
+
+    id = "CL001"
+    name = "unguarded-shared-mutation"
+    severity = "error"
+    description = ("mutation of self._* shared state outside a `with "
+                   "self._lock:` block in a lock-owning class")
+
+    def check_module(self, ctx: LintContext) -> Iterator[Finding]:
+        modules, direct = _import_model(ctx.tree)
+        if not modules and not direct:
+            return
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            lock_attrs, local_attrs = _class_lock_model(cls, modules, direct)
+            if not lock_attrs:
+                continue
+            for method in cls.body:
+                if not isinstance(method, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                    continue
+                if method.name == "__init__" \
+                        or method.name.endswith("_locked"):
+                    continue
+                yield from self._visit(method.body, cls, method,
+                                       lock_attrs, local_attrs, ctx,
+                                       guarded=False)
+
+    def _visit(self, body: Sequence[ast.stmt], cls: ast.ClassDef,
+               method: ast.AST, lock_attrs: Set[str], local_attrs: Set[str],
+               ctx: LintContext, guarded: bool) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, ast.With):
+                inner = guarded or _with_guards_self(node, lock_attrs)
+                yield from self._visit(node.body, cls, method, lock_attrs,
+                                       local_attrs, ctx, inner)
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                # A nested def runs later, possibly without the lock.
+                nested = getattr(node, "body", [])
+                if isinstance(nested, list):
+                    yield from self._visit(nested, cls, method, lock_attrs,
+                                           local_attrs, ctx, guarded=False)
+                continue
+            if not guarded:
+                for attr, site in self._writes(node):
+                    if attr.startswith("__") or not attr.startswith("_"):
+                        continue
+                    if attr in lock_attrs or attr in local_attrs:
+                        continue
+                    locks = ", ".join(f"self.{a}" for a in sorted(lock_attrs))
+                    yield self.finding(
+                        ctx, site,
+                        f"`{cls.name}.{method.name}` writes shared "
+                        f"`self.{attr}` without holding a lock ({locks}); "
+                        f"guard the write, rename the method with a "
+                        f"`_locked` suffix if the caller holds it, or "
+                        f"suppress with a justification")
+            # Recurse into compound statements (if/for/try/...).
+            for child_body in self._child_bodies(node):
+                yield from self._visit(child_body, cls, method, lock_attrs,
+                                       local_attrs, ctx, guarded)
+
+    @staticmethod
+    def _child_bodies(node: ast.stmt) -> List[List[ast.stmt]]:
+        bodies = []
+        for field_name in ("body", "orelse", "finalbody", "handlers"):
+            value = getattr(node, field_name, None)
+            if not value:
+                continue
+            if field_name == "handlers":
+                bodies.extend(h.body for h in value)
+            else:
+                bodies.append(value)
+        return bodies
+
+    def _writes(self, node: ast.stmt) -> Iterator[Tuple[str, ast.AST]]:
+        """(root self attribute, anchor node) for every shared-state write."""
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        for target in self._flatten(targets):
+            attr = _self_root_attr(target)
+            if attr is not None:
+                yield attr, target
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            func = node.value.func
+            if isinstance(func, ast.Attribute) \
+                    and func.attr in MUTATING_METHODS:
+                attr = _self_root_attr(func.value)
+                if attr is not None:
+                    yield attr, node.value
+
+    @staticmethod
+    def _flatten(targets: Sequence[ast.AST]) -> Iterator[ast.AST]:
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                yield from target.elts
+            else:
+                yield target
+
+
+# ----------------------------------------------------------------------
+# CL002 — bare acquire()/release()
+# ----------------------------------------------------------------------
+class BareAcquireRule(Rule):
+    """CL002 — ``lock.acquire()``/``lock.release()`` instead of ``with``.
+
+    Manual pairs are not exception-safe (a raise between them leaks the
+    lock) and are invisible to the nested-``with`` lock-order analysis
+    (CL004) and the runtime sanitizer's scoping.
+    """
+
+    id = "CL002"
+    name = "bare-acquire-release"
+    severity = "error"
+    description = ("bare .acquire()/.release() call; use `with lock:` so "
+                   "release is exception-safe and order is analyzable")
+    node_types = (ast.Call,)
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return not ctx.path_endswith(*LOCK_PROXY_SUFFIXES)
+
+    def check_node(self, node: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if isinstance(func, ast.Attribute) \
+                and func.attr in ("acquire", "release"):
+            receiver = attribute_chain(func.value) or "<expr>"
+            yield self.finding(
+                ctx, node,
+                f"`{receiver}.{func.attr}()` — use `with {receiver}:` "
+                f"instead of manual acquire/release pairs")
+
+
+# ----------------------------------------------------------------------
+# CL003 — blocking call while holding a lock
+# ----------------------------------------------------------------------
+#: socket-ish blocking method names, matched when the receiver name also
+#: looks like a socket/connection.
+SOCKET_BLOCKING_METHODS = frozenset({
+    "recv", "recv_into", "accept", "connect", "sendall", "makefile"})
+
+
+class BlockingCallUnderLockRule(Rule):
+    """CL003 — a call that can block indefinitely inside a ``with lock:``.
+
+    Waiting on the held condition itself (``with cond: cond.wait()``) is
+    the sanctioned pattern — ``Condition.wait`` releases the lock — and is
+    exempt as long as no *other* lock is held across the wait.
+    """
+
+    id = "CL003"
+    name = "blocking-under-lock"
+    severity = "error"
+    description = ("blocking call (join/queue get/put/sleep/foreign wait/"
+                   "socket I/O) while holding a lock")
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return not ctx.path_endswith(*LOCK_PROXY_SUFFIXES)
+
+    def check_module(self, ctx: LintContext) -> Iterator[Finding]:
+        modules, direct = _import_model(ctx.tree)
+        yield from self._visit(ctx.tree.body, None, set(), [], ctx,
+                               modules, direct)
+
+    def _visit(self, body: Sequence[ast.stmt], class_name: Optional[str],
+               lock_attrs: Set[str], held: List[str], ctx: LintContext,
+               modules: Set[str], direct: Dict[str, str]
+               ) -> Iterator[Finding]:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                locks, _ = _class_lock_model(node, modules, direct)
+                yield from self._visit(node.body, node.name, locks, [],
+                                       ctx, modules, direct)
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._visit(node.body, class_name, lock_attrs,
+                                       [], ctx, modules, direct)
+                continue
+            if isinstance(node, ast.With):
+                entered = list(held)
+                for item in node.items:
+                    ident = _lock_identity(item.context_expr, class_name,
+                                           lock_attrs)
+                    if ident is not None:
+                        entered.append(ident[1])
+                yield from self._visit(node.body, class_name, lock_attrs,
+                                       entered, ctx, modules, direct)
+                continue
+            if held:
+                # Compound statements recurse below; walking them whole
+                # here would double-report calls in their bodies, so only
+                # their header expressions (test/iter) are scanned.
+                roots = (self._header_exprs(node)
+                         if hasattr(node, "body") else [node])
+                for root in roots:
+                    for call in ast.walk(root):
+                        if isinstance(call, ast.Call) \
+                                and not self._has_nested_scope(call):
+                            yield from self._check_call(call, held, ctx)
+            for child_body in UnguardedSharedMutationRule._child_bodies(node):
+                yield from self._visit(child_body, class_name, lock_attrs,
+                                       held, ctx, modules, direct)
+
+    @staticmethod
+    def _header_exprs(node: ast.stmt) -> List[ast.AST]:
+        exprs: List[ast.AST] = []
+        for attr in ("test", "iter"):
+            value = getattr(node, attr, None)
+            if value is not None:
+                exprs.append(value)
+        return exprs
+
+    @staticmethod
+    def _has_nested_scope(call: ast.Call) -> bool:
+        """Skip calls inside lambdas passed as arguments (run later)."""
+        return any(isinstance(sub, ast.Lambda) for sub in ast.walk(call))
+
+    def _check_call(self, call: ast.Call, held: List[str],
+                    ctx: LintContext) -> Iterator[Finding]:
+        reason = self._blocking_reason(call, held)
+        if reason is not None:
+            yield self.finding(
+                ctx, call,
+                f"blocking call `{reason}` while holding "
+                f"`{'`, `'.join(held)}`; move the blocking operation "
+                f"outside the lock")
+
+    @staticmethod
+    def _blocking_reason(call: ast.Call, held: List[str]) -> Optional[str]:
+        func = call.func
+        chain = attribute_chain(func)
+        if chain and chain.split(".")[-1] == "sleep":
+            return chain
+        if not isinstance(func, ast.Attribute):
+            return None
+        receiver = attribute_chain(func.value)
+        last = receiver.split(".")[-1].lower() if receiver else ""
+        attr = func.attr
+        if attr == "join" and any(token in last for token in
+                                  ("thread", "worker", "proc", "server")):
+            return f"{receiver}.join"
+        if attr in ("wait", "wait_for"):
+            # `with cond: cond.wait()` is sanctioned; waiting while any
+            # *other* lock is held blocks that lock for the wait's duration.
+            if receiver and all(h == receiver for h in held):
+                return None
+            return f"{receiver or '<expr>'}.{attr}"
+        if attr in ("get", "put") and "queue" in last:
+            return f"{receiver}.{attr}"
+        if attr in SOCKET_BLOCKING_METHODS \
+                and any(token in last for token in ("sock", "conn")):
+            return f"{receiver}.{attr}"
+        return None
+
+
+# ----------------------------------------------------------------------
+# CL004 — lock-order inversion (static graph from nested `with` blocks)
+# ----------------------------------------------------------------------
+class LockOrderInversionRule(Rule):
+    """CL004 — the module's static lock-order graph contains a cycle.
+
+    Every lexically nested ``with a: with b:`` contributes an ``a → b``
+    edge; ``self.<attr>`` locks are class-qualified so all methods of a
+    class share one node per lock.  A cycle means two code paths acquire
+    the same locks in conflicting orders — the static precondition for
+    deadlock.  The finding anchors to the acquisition that closes the
+    cycle and names the conflicting site.
+    """
+
+    id = "CL004"
+    name = "lock-order-inversion"
+    severity = "error"
+    description = ("nested `with` blocks acquire locks in conflicting "
+                   "orders (cycle in the static lock-order graph)")
+
+    def check_module(self, ctx: LintContext) -> Iterator[Finding]:
+        modules, direct = _import_model(ctx.tree)
+        # (outer, inner) -> (inner With node, outer display, inner display)
+        edges: "Dict[Tuple[str, str], Tuple[ast.AST, str, str]]" = {}
+        self._collect(ctx.tree.body, None, set(), [], edges, modules, direct)
+
+        graph: Dict[str, Set[str]] = {}
+        lines: Dict[Tuple[str, str], int] = {}
+        reported: Set[frozenset] = set()
+        for (outer, inner), (node, outer_disp, inner_disp) in edges.items():
+            path = self._find_path(graph, inner, outer)
+            graph.setdefault(outer, set()).add(inner)
+            lines[(outer, inner)] = getattr(node, "lineno", 1)
+            if path is None:
+                continue
+            pair = frozenset((outer, inner))
+            if pair in reported:
+                continue
+            reported.add(pair)
+            cycle = " -> ".join([outer, inner] + path[1:])
+            other_line = lines.get((path[0], path[1]), 0)
+            yield self.finding(
+                ctx, node,
+                f"lock-order inversion: `{inner}` acquired while holding "
+                f"`{outer}` here, but line {other_line} acquires them in "
+                f"the opposite order (cycle: {cycle}); pick one global "
+                f"acquisition order")
+
+    def _collect(self, body: Sequence[ast.stmt], class_name: Optional[str],
+                 lock_attrs: Set[str], held: List[Tuple[str, str]],
+                 edges, modules: Set[str], direct: Dict[str, str]) -> None:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                locks, _ = _class_lock_model(node, modules, direct)
+                self._collect(node.body, node.name, locks, [], edges,
+                              modules, direct)
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._collect(node.body, class_name, lock_attrs, [], edges,
+                              modules, direct)
+                continue
+            if isinstance(node, ast.With):
+                entered = list(held)
+                for item in node.items:
+                    ident = _lock_identity(item.context_expr, class_name,
+                                           lock_attrs)
+                    if ident is None:
+                        continue
+                    identity, display = ident
+                    for outer_id, outer_disp in entered:
+                        if outer_id != identity:
+                            edges.setdefault(
+                                (outer_id, identity),
+                                (node, outer_disp, display))
+                    entered.append((identity, display))
+                self._collect(node.body, class_name, lock_attrs, entered,
+                              edges, modules, direct)
+                continue
+            for child_body in UnguardedSharedMutationRule._child_bodies(node):
+                self._collect(child_body, class_name, lock_attrs, held,
+                              edges, modules, direct)
+
+    @staticmethod
+    def _find_path(graph: Dict[str, Set[str]], start: str,
+                   goal: str) -> Optional[List[str]]:
+        """DFS path ``start → ... → goal`` in the edge set so far."""
+        stack = [(start, [start])]
+        seen = set()
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            if node in seen:
+                continue
+            seen.add(node)
+            for succ in sorted(graph.get(node, ())):
+                stack.append((succ, path + [succ]))
+        return None
+
+
+# ----------------------------------------------------------------------
+# CL005 — thread/process without explicit lifecycle ownership
+# ----------------------------------------------------------------------
+class ThreadOwnershipRule(Rule):
+    """CL005 — ``Thread``/``Process`` constructed without ``daemon=``.
+
+    An implicit non-daemon thread blocks interpreter exit if never joined;
+    an implicit daemon inherited from the parent dies mid-write.  Either
+    way the lifecycle must be stated at the construction site: pass
+    ``daemon=`` explicitly and pair it with a bounded ``join`` on the
+    owner's shutdown path.
+    """
+
+    id = "CL005"
+    name = "thread-ownership"
+    severity = "error"
+    description = ("threading.Thread/multiprocessing.Process created "
+                   "without an explicit daemon= lifecycle declaration")
+    node_types = (ast.Call,)
+
+    def check_node(self, node: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        chain = attribute_chain(node.func)
+        if not chain:
+            return
+        last = chain.split(".")[-1]
+        if last not in ("Thread", "Process"):
+            return
+        if any(kw.arg == "daemon" for kw in node.keywords):
+            return
+        yield self.finding(
+            ctx, node,
+            f"`{chain}(...)` without an explicit `daemon=`; declare the "
+            f"thread's lifecycle (daemon=True/False) and join it with a "
+            f"timeout on the owner's shutdown path")

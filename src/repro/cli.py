@@ -96,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "NaN/Inf forward values and gradients abort "
                              "with the creating op and its traceback "
                              "(see repro.analysis)")
+    parser.add_argument("--thread-sanitizer", action="store_true",
+                        help="(serve) run with the runtime thread sanitizer: "
+                             "lock-order inversions, long holds, and torn "
+                             "generation reads are reported with recorded "
+                             "acquisition stacks on shutdown; exit 1 on any "
+                             "finding (see repro.analysis.threadsan)")
     return parser
 
 
@@ -243,6 +249,24 @@ def _run_serve(args: argparse.Namespace) -> int:
     app = ServeApp(session_capacity=args.session_capacity,
                    max_batch_size=args.max_batch_size,
                    max_wait_ms=args.max_wait_ms)
+    if not args.thread_sanitizer:
+        return _serve_loop(args, app)
+    from .analysis import threadsan
+    with threadsan() as san:
+        san.instrument_app(app)
+        print("thread sanitizer enabled: lock-order, long-hold, and "
+              "torn-read findings are reported on shutdown")
+        code = _serve_loop(args, app)
+        findings = san.findings
+    if findings:
+        print(san.render_report())
+        return 1
+    print("threadsan: no findings")
+    return code
+
+
+def _serve_loop(args: argparse.Namespace, app) -> int:
+    from .serve import ServeServer
     if args.checkpoint:
         artifacts = app.load_checkpoint(args.checkpoint)
         print(f"loaded {artifacts.model_class} from {args.checkpoint} "

@@ -261,6 +261,9 @@ class _WorkerHandle:
         if self.process.is_alive():
             self.process.terminate()
             self.process.join(timeout=1.0)
+        # The worker may have died without consuming the sentinel; never
+        # let the queue's feeder thread block interpreter exit on it.
+        self.task_queue.cancel_join_thread()
         self.task_queue.close()
 
     def kill(self) -> None:
@@ -270,6 +273,9 @@ class _WorkerHandle:
             if self.process.is_alive():
                 self.process.kill()
                 self.process.join(timeout=1.0)
+        # A killed worker leaves its queued task undelivered; drop it
+        # rather than joining a feeder thread that can never drain.
+        self.task_queue.cancel_join_thread()
         self.task_queue.close()
 
 
@@ -391,6 +397,9 @@ class ProcessMap:
         finally:
             for handle in handles.values():
                 handle.stop()
+            # All results we care about are drained; anything a dying
+            # worker still pushed must not keep the feeder thread alive.
+            result_queue.cancel_join_thread()
             result_queue.close()
         return [results[i] for i in range(len(blobs))]
 

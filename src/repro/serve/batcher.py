@@ -73,13 +73,25 @@ class MicroBatcher:
         return pending.result
 
     def close(self, timeout: float = 5.0) -> None:
-        """Stop the worker after the queue drains."""
+        """Stop the worker; every pending request is scored or failed.
+
+        Deterministic shutdown, safe to call repeatedly and from several
+        threads: mark closed and wake *all* condition waiters (the worker
+        may be lingering, and concurrent closers must not swallow each
+        other's wakeup), join the worker with a bounded timeout, then fail
+        any request still queued — a wedged or timed-out worker must not
+        leave submitters blocked on their completion event forever.
+        """
         with self._nonempty:
-            if self._closed:
-                return
             self._closed = True
-            self._nonempty.notify()
+            self._nonempty.notify_all()
         self._worker.join(timeout=timeout)
+        with self._nonempty:
+            leftover, self._queue = self._queue, []
+        for pending in leftover:
+            pending.error = RuntimeError(
+                "MicroBatcher closed before the request was scored")
+            pending.event.set()
 
     # -- worker side -----------------------------------------------------
     def _take_batch(self) -> Optional[List[_Pending]]:

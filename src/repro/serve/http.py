@@ -102,7 +102,10 @@ class ServeApp:
                                     max_wait_ms=max_wait_ms,
                                     metrics=self.metrics)
         self._pop_lock = threading.Lock()
-        self._pop_counts = np.zeros(1, dtype=np.int64)
+        # Lazily allocated; every touch goes through _pop_counts_locked,
+        # the single guarded compute-once path (the `_locked` suffix is
+        # the racelint caller-holds-the-lock convention).
+        self._pop_counts: Optional[np.ndarray] = None
 
     # -- checkpoint management -------------------------------------------
     def load_checkpoint(self, path) -> ServingArtifacts:
@@ -116,20 +119,33 @@ class ServeApp:
         self.batcher.close()
 
     # -- popularity fallback ---------------------------------------------
+    def _pop_counts_locked(self, min_size: int = 1) -> np.ndarray:
+        """Compute-once/grow accessor for the popularity count vector.
+
+        The caller holds ``_pop_lock``.  Allocation and growth both live
+        here so there is exactly one guarded path that writes
+        ``self._pop_counts``; callers only index into the returned array.
+        """
+        counts = self._pop_counts
+        if counts is None:
+            counts = self._pop_counts = np.zeros(max(min_size, 1),
+                                                 dtype=np.int64)
+        elif counts.shape[0] < min_size:
+            grown = np.zeros(min_size, dtype=np.int64)
+            grown[:counts.shape[0]] = counts
+            counts = self._pop_counts = grown
+        return counts
+
     def _count_event(self, basket: Sequence[int]) -> None:
         with self._pop_lock:
-            top = max(basket)
-            if top >= self._pop_counts.shape[0]:
-                grown = np.zeros(top + 1, dtype=np.int64)
-                grown[:self._pop_counts.shape[0]] = self._pop_counts
-                self._pop_counts = grown
+            counts = self._pop_counts_locked(max(basket) + 1)
             for item in basket:
-                self._pop_counts[item] += 1
+                counts[item] += 1
 
     def _popularity_row(self, artifacts: Optional[ServingArtifacts]
                         ) -> np.ndarray:
         with self._pop_lock:
-            counts = self._pop_counts.astype(np.float64)
+            counts = self._pop_counts_locked().astype(np.float64)
         width = (artifacts.num_items + 1 if artifacts is not None
                  else max(counts.shape[0], 2))
         row = np.zeros(width)

@@ -1,0 +1,34 @@
+"""Seeded lock-order inversion, detected statically (CL004) and at runtime.
+
+Two methods acquire the same pair of locks in opposite orders — the
+classic deadlock precondition.  The attribute names deliberately avoid
+"lock"-ish tokens so detection must come from class-level lock ownership
+(the ``threading.Lock()`` factory assignments), not name heuristics.
+
+This module is lint *fixture data*: it is imported by the tests and also
+fed to the lint engine as source, so it must stay syntactically importable
+and must keep exactly one inversion (between ``_alpha`` and ``_beta``).
+"""
+
+import threading
+
+
+class InvertedPair:
+    """Owns two locks; ``ab()`` and ``ba()`` nest them in opposite orders."""
+
+    def __init__(self):
+        self._alpha = threading.Lock()
+        self._beta = threading.Lock()
+        self._value = 0
+
+    def ab(self):
+        with self._alpha:
+            with self._beta:
+                self._value += 1
+        return self._value
+
+    def ba(self):
+        with self._beta:
+            with self._alpha:
+                self._value -= 1
+        return self._value

@@ -11,7 +11,8 @@ import pytest
 
 from repro.analysis.cli import main
 
-RULE_IDS = ("GL001", "GL002", "GL003", "GL004", "GL005", "GL006", "GL007")
+RULE_IDS = ("GL001", "GL002", "GL003", "GL004", "GL005", "GL006", "GL007",
+            "CL001", "CL002", "CL003", "CL004", "CL005")
 
 
 @pytest.fixture
@@ -48,6 +49,39 @@ def violating_tree(tmp_path):
             except:
                 pass
     """))
+    # CL001–CL005 in one server module.
+    (pkg / "server.py").write_text(textwrap.dedent("""
+        import threading
+        import time
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._other_lock = threading.Lock()
+                self._items = []
+                self._worker = threading.Thread(target=self.drain)
+
+            def add(self, item):
+                self._items.append(item)
+
+            def swap(self):
+                with self._lock:
+                    with self._other_lock:
+                        pass
+
+            def swap_back(self):
+                with self._other_lock:
+                    with self._lock:
+                        pass
+
+            def drain(self):
+                self._lock.acquire()
+                try:
+                    with self._other_lock:
+                        self._worker.join()
+                finally:
+                    self._lock.release()
+    """))
     return tmp_path
 
 
@@ -73,11 +107,16 @@ def test_exit_zero_on_clean_tree(clean_tree, capsys):
 def test_json_format(violating_tree, capsys):
     assert main([str(violating_tree), "--format", "json"]) == 1
     payload = json.loads(capsys.readouterr().out)
-    assert payload["files_checked"] == 4
+    assert payload["schema"] == "repro.analysis/v2"
+    assert payload["files_checked"] == 5
     found_rules = {f["rule"] for f in payload["findings"]}
     assert found_rules == set(RULE_IDS)
     sample = payload["findings"][0]
-    assert {"path", "line", "col", "rule", "severity", "message"} <= set(sample)
+    assert {"path", "line", "col", "rule", "family", "severity",
+            "message"} <= set(sample)
+    assert all(f["family"] == f["rule"][:2] for f in payload["findings"])
+    assert set(payload["families"]) == {"GL", "CL"}
+    assert payload["families"]["CL"] >= 5
 
 
 def test_select_and_ignore(violating_tree, capsys):
@@ -86,6 +125,17 @@ def test_select_and_ignore(violating_tree, capsys):
     assert "GL004" in out and "GL005" not in out
 
     assert main([str(violating_tree), "--ignore"] + list(RULE_IDS)) == 2
+    assert "no rules selected" in capsys.readouterr().out
+
+
+def test_rules_family_filter(violating_tree, capsys):
+    """--rules CL runs racelint alone (the blocking CI step)."""
+    assert main([str(violating_tree), "--rules", "CL"]) == 1
+    out = capsys.readouterr().out
+    assert "CL001" in out and "CL004" in out
+    assert "GL" not in out
+
+    assert main([str(violating_tree), "--rules", "ZZ"]) == 2
     assert "no rules selected" in capsys.readouterr().out
 
 

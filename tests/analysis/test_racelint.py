@@ -1,0 +1,439 @@
+"""Unit tests for the CL001–CL005 concurrency lint rules (racelint).
+
+Each rule gets positive cases (the seeded violation fires, attributed to
+the right line) and negative cases (the sanctioned patterns used by
+``repro.serve`` stay clean).  The seeded lock-inversion fixture shared
+with the runtime sanitizer tests is linted from its real source file, so
+static and dynamic detection are exercised against the same code.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.engine import LintEngine
+
+from . import inversion_fixture
+
+
+def lint(source, families=("CL",)):
+    engine = LintEngine(families=families)
+    findings, _ = engine.run_source(textwrap.dedent(source), "serve/mod.py")
+    return findings
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+# ----------------------------------------------------------------------
+# CL001 — unguarded shared mutation
+# ----------------------------------------------------------------------
+class TestCL001:
+    def test_unguarded_write_fires(self):
+        findings = lint("""
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, item):
+                    self._items.append(item)
+        """)
+        assert rule_ids(findings) == ["CL001"]
+        assert "self._items" in findings[0].message
+        assert "Store.add" in findings[0].message
+
+    def test_guarded_write_is_clean(self):
+        assert lint("""
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, item):
+                    with self._lock:
+                        self._items.append(item)
+        """) == []
+
+    def test_condition_guard_counts(self):
+        """A Condition is an owned lock and guards like one (MicroBatcher)."""
+        assert lint("""
+            import threading
+
+            class Batcher:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._nonempty = threading.Condition(self._lock)
+                    self._queue = []
+
+                def submit(self, item):
+                    with self._nonempty:
+                        self._queue.append(item)
+                        self._nonempty.notify()
+        """) == []
+
+    def test_aug_assign_and_subscript_store_fire(self):
+        findings = lint("""
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+                    self._by_key = {}
+
+                def bump(self, key):
+                    self._n += 1
+                    self._by_key[key] = self._n
+        """)
+        assert rule_ids(findings) == ["CL001", "CL001"]
+
+    def test_locked_suffix_convention_exempts(self):
+        assert lint("""
+            import threading
+
+            class App:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._counts = None
+
+                def _counts_locked(self):
+                    self._counts = [0]
+                    return self._counts
+        """) == []
+
+    def test_threading_local_attrs_exempt(self):
+        assert lint("""
+            import threading
+
+            class San:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._tls = threading.local()
+
+                def held(self):
+                    self._tls.held = []
+                    return self._tls.held
+        """) == []
+
+    def test_lockless_class_out_of_scope(self):
+        assert lint("""
+            class Plain:
+                def set(self, v):
+                    self._v = v
+        """) == []
+
+    def test_nested_def_does_not_inherit_guard(self):
+        """A closure defined under the lock runs later, maybe without it."""
+        findings = lint("""
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def make_writer(self):
+                    with self._lock:
+                        def write(item):
+                            self._items.append(item)
+                    return write
+        """)
+        assert rule_ids(findings) == ["CL001"]
+
+
+# ----------------------------------------------------------------------
+# CL002 — bare acquire/release
+# ----------------------------------------------------------------------
+class TestCL002:
+    def test_bare_pair_fires_twice(self):
+        findings = lint("""
+            def f(lock):
+                lock.acquire()
+                try:
+                    pass
+                finally:
+                    lock.release()
+        """)
+        assert rule_ids(findings) == ["CL002", "CL002"]
+
+    def test_with_statement_is_clean(self):
+        assert lint("""
+            def f(lock):
+                with lock:
+                    pass
+        """) == []
+
+    def test_sanitizer_module_is_exempt(self):
+        engine = LintEngine(families=("CL",))
+        findings, _ = engine.run_source(
+            "def f(lock):\n    lock.acquire()\n",
+            "src/repro/analysis/concurrency.py")
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# CL003 — blocking call while holding a lock
+# ----------------------------------------------------------------------
+class TestCL003:
+    def test_join_and_sleep_under_lock_fire(self):
+        findings = lint("""
+            import threading
+            import time
+
+            class Runner:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._worker = threading.Thread(target=None, daemon=True)
+
+                def stop(self):
+                    with self._lock:
+                        self._worker.join()
+                        time.sleep(0.1)
+        """)
+        assert rule_ids(findings) == ["CL003", "CL003"]
+        assert "self._worker.join" in findings[0].message
+
+    def test_wait_on_held_condition_is_sanctioned(self):
+        """`with cond: cond.wait()` releases the lock — MicroBatcher's loop."""
+        assert lint("""
+            import threading
+
+            class Batcher:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._nonempty = threading.Condition(self._lock)
+
+                def take(self):
+                    with self._nonempty:
+                        self._nonempty.wait(timeout=0.5)
+        """) == []
+
+    def test_foreign_wait_under_lock_fires(self):
+        findings = lint("""
+            import threading
+
+            class App:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def bad(self, event):
+                    with self._lock:
+                        event.wait()
+        """)
+        assert rule_ids(findings) == ["CL003"]
+
+    def test_queue_get_under_lock_fires(self):
+        findings = lint("""
+            import threading
+
+            class Drain:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def pull(self, result_queue):
+                    with self._lock:
+                        return result_queue.get(timeout=1.0)
+        """)
+        assert rule_ids(findings) == ["CL003"]
+
+    def test_dict_get_under_lock_is_clean(self):
+        """Plain dict .get must not be mistaken for queue.get."""
+        assert lint("""
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._map = {}
+
+                def lookup(self, key):
+                    with self._lock:
+                        return self._map.get(key)
+        """) == []
+
+    def test_join_outside_lock_is_clean(self):
+        assert lint("""
+            import threading
+
+            class Runner:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._closed = False
+                    self._worker = threading.Thread(target=None, daemon=True)
+
+                def stop(self):
+                    with self._lock:
+                        self._closed = True
+                    self._worker.join(timeout=5.0)
+        """) == []
+
+
+# ----------------------------------------------------------------------
+# CL004 — static lock-order inversion
+# ----------------------------------------------------------------------
+class TestCL004:
+    def test_seeded_fixture_is_detected_with_both_sites(self):
+        """The shared inversion fixture must trip CL004 at the acquiring
+        site, naming both locks and pointing at the conflicting line."""
+        with open(inversion_fixture.__file__, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        engine = LintEngine(families=("CL",))
+        findings, _ = engine.run_source(source, inversion_fixture.__file__)
+        inversions = [f for f in findings if f.rule_id == "CL004"]
+        assert len(inversions) == 1
+        finding = inversions[0]
+        assert "InvertedPair._alpha" in finding.message
+        assert "InvertedPair._beta" in finding.message
+        # Anchored to the inner acquisition of the second ordering (ba),
+        # citing the line of the first ordering (ab's inner with).
+        lines = source.splitlines()
+        assert "with self._alpha:" in lines[finding.line - 1]
+        import re
+        cited = int(re.search(r"line (\d+)", finding.message).group(1))
+        assert "with self._beta:" in lines[cited - 1]
+
+    def test_consistent_order_is_clean(self):
+        assert lint("""
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def one(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def two(self):
+                    with self._a:
+                        with self._b:
+                            pass
+        """) == []
+
+    def test_module_level_lockish_names_participate(self):
+        findings = lint("""
+            def f(a_lock, b_lock):
+                with a_lock:
+                    with b_lock:
+                        pass
+
+            def g(a_lock, b_lock):
+                with b_lock:
+                    with a_lock:
+                        pass
+        """)
+        assert rule_ids(findings) == ["CL004"]
+
+    def test_indirect_cycle_detected(self):
+        findings = lint("""
+            import threading
+
+            class Trio:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+                    self._c = threading.Lock()
+
+                def one(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def two(self):
+                    with self._b:
+                        with self._c:
+                            pass
+
+                def three(self):
+                    with self._c:
+                        with self._a:
+                            pass
+        """)
+        assert rule_ids(findings) == ["CL004"]
+        assert "cycle" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# CL005 — thread lifecycle ownership
+# ----------------------------------------------------------------------
+class TestCL005:
+    def test_thread_without_daemon_fires(self):
+        findings = lint("""
+            import threading
+
+            def spawn():
+                return threading.Thread(target=print)
+        """)
+        assert rule_ids(findings) == ["CL005"]
+
+    def test_explicit_daemon_is_clean(self):
+        assert lint("""
+            import threading
+
+            def spawn():
+                return threading.Thread(target=print, daemon=True)
+        """) == []
+
+    def test_mp_context_process_fires(self):
+        findings = lint("""
+            import multiprocessing as mp
+
+            def spawn(ctx):
+                return ctx.Process(target=print)
+        """)
+        assert rule_ids(findings) == ["CL005"]
+
+
+# ----------------------------------------------------------------------
+# Suppression + family plumbing
+# ----------------------------------------------------------------------
+def test_cl_suppression_syntax_works():
+    engine = LintEngine(families=("CL",))
+    findings, suppressed = engine.run_source(textwrap.dedent("""
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._hits = 0
+
+            def touch(self):
+                self._hits += 1  # gradlint: disable=CL001 — stat, races ok
+    """), "serve/mod.py")
+    assert findings == []
+    assert suppressed == 1
+
+
+def test_family_filter_excludes_other_families():
+    source = """
+        import numpy as np
+
+        def f(model):
+            np.random.seed(0)
+    """
+    assert lint(source, families=("CL",)) == []
+    assert rule_ids(lint(source, families=("GL",))) == ["GL004"]
+
+
+def test_repo_serve_layer_is_racelint_clean():
+    """The acceptance bar: CL001–CL005 clean over the serving stack."""
+    import os
+
+    import repro
+
+    from repro.analysis.engine import lint_paths
+
+    root = os.path.dirname(repro.__file__)
+    report = lint_paths([os.path.join(root, "serve"),
+                         os.path.join(root, "parallel"),
+                         os.path.join(root, "analysis")], families=("CL",))
+    assert report.findings == [], report.render_text()
+    assert report.files_checked > 0
