@@ -27,6 +27,16 @@ automatically, and the pair documents the no-regression floor; at V=100k
 the dense path's ``O(V*d)`` scatter + state sweep dominates and the pair
 shows the headline speedup.
 
+The ``retrieval`` suite measures the two-tower ANN candidate-generation
+path (:mod:`repro.retrieval`) on synthetic normalized item towers at
+V ∈ {10k, 100k, 1M}: each scale is an exact/IVF pair where ``exact``
+brute-force-scores the full catalog and ``ivf`` runs the served two-stage
+pipeline (coarse-quantizer probe → shortlist → exact re-rank).  The IVF
+factories measure recall@shortlist against the exact top-z during untimed
+setup and embed it in the bench meta; :func:`suite_summary` derives the
+``ivf_vs_exact_v*`` speedups and per-scale recalls recorded in
+``BENCH_retrieval.json``.
+
 The ``engine`` suite covers the loops Algorithm 1 spends its time in:
 
 * ``train_epoch_gru`` — the headline microbench: a full training epoch of a
@@ -584,6 +594,122 @@ SERVE_SUITE: Dict[str, Tuple[BenchFactory, int, Dict[str, object]]] = {
 }
 
 
+# ----------------------------------------------------------------------
+# `retrieval` suite — two-tower ANN candidate generation (repro.retrieval)
+# ----------------------------------------------------------------------
+
+RETRIEVAL_DIM = 16
+RETRIEVAL_SHORTLIST = 500
+RETRIEVAL_NPROBE = 8
+RETRIEVAL_TOP_Z = 10
+
+
+def _retrieval_tower(catalog: int, num_queries: int):
+    """Synthetic normalized item tower + near-item queries (untimed setup).
+
+    Items are drawn around random unit directions and re-normalized, so
+    inner-product and L2 rankings coincide and the workload exercises the
+    geometry IVF is built for; queries are perturbed item vectors, the
+    serving situation where a session's user vector sits near the items
+    it should retrieve.
+    """
+    from ..retrieval import ItemTower
+    rng = np.random.default_rng(np.random.SeedSequence(101, spawn_key=(1,)))
+    centers = rng.normal(size=(256, RETRIEVAL_DIM))
+    centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+    which = rng.integers(0, centers.shape[0], size=catalog)
+    vectors = centers[which] + rng.normal(size=(catalog, RETRIEVAL_DIM)) * 0.08
+    vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+    bias = rng.normal(size=catalog) * 0.01
+    tower = ItemTower(vectors=vectors, bias=bias,
+                      ids=np.arange(1, catalog + 1, dtype=np.int64))
+    picks = rng.choice(catalog, size=num_queries, replace=False)
+    queries = (vectors[picks]
+               + rng.normal(size=(num_queries, RETRIEVAL_DIM)) * 0.05)
+    return tower, queries
+
+
+def make_retrieval_search(catalog: int, mode: str, quick: bool):
+    """Search latency over one catalog scale: brute force vs IVF+re-rank.
+
+    The ``ivf`` workload is the full served candidate pipeline — probe,
+    shortlist, exact re-rank of the shortlist — so its latency is directly
+    comparable to the ``exact`` full-catalog scan it replaces.  Recall of
+    the shortlist against the exact top-z is measured at setup (untimed)
+    and recorded in the bench meta.
+    """
+    from ..retrieval import ExactIndex, IVFIndex, top_ids_by_score
+    num_queries = 10 if quick else 20
+    tower, queries = _retrieval_tower(catalog, num_queries)
+    if mode == "exact":
+        index = ExactIndex(tower)
+
+        def workload() -> float:
+            total = 0
+            for query in queries:
+                total += int(index.search(query, RETRIEVAL_TOP_Z)[0])
+            return float(total)
+
+        return workload
+
+    iters = 2 if quick else (3 if catalog >= 1_000_000 else 4)
+    ivf = IVFIndex.build(tower, seed=0, iters=iters)
+    exact = ExactIndex(tower)
+    recalls = []
+    for query in queries:
+        top = exact.search(query, RETRIEVAL_TOP_Z)
+        shortlist = ivf.search(query, RETRIEVAL_SHORTLIST,
+                               nprobe=RETRIEVAL_NPROBE)
+        hits = len(set(top.tolist()) & set(shortlist.tolist()))
+        recalls.append(hits / top.shape[0])
+    extra_meta = {"recall_at_shortlist": float(np.mean(recalls)),
+                  "n_clusters": ivf.n_clusters,
+                  "kmeans_iters": iters}
+
+    def workload() -> float:
+        total = 0
+        for query in queries:
+            shortlist = ivf.search(query, RETRIEVAL_SHORTLIST,
+                                   nprobe=RETRIEVAL_NPROBE)
+            rows = tower.vectors[shortlist - 1]
+            scores = rows @ query + tower.bias[shortlist - 1]
+            total += int(top_ids_by_score(scores, shortlist,
+                                          RETRIEVAL_TOP_Z)[0])
+        return float(total)
+
+    return workload, extra_meta
+
+
+def _retrieval_meta(catalog: int, mode: str) -> Dict[str, object]:
+    meta: Dict[str, object] = {"catalog": catalog, "dim": RETRIEVAL_DIM,
+                               "mode": mode, "top_z": RETRIEVAL_TOP_Z}
+    if mode == "ivf":
+        meta.update(shortlist=RETRIEVAL_SHORTLIST, nprobe=RETRIEVAL_NPROBE)
+    return meta
+
+
+RETRIEVAL_SUITE: Dict[str, Tuple[BenchFactory, int, Dict[str, object]]] = {
+    "exact_search_v10k": (
+        lambda quick: make_retrieval_search(10_000, "exact", quick), 5,
+        _retrieval_meta(10_000, "exact")),
+    "ivf_search_v10k": (
+        lambda quick: make_retrieval_search(10_000, "ivf", quick), 5,
+        _retrieval_meta(10_000, "ivf")),
+    "exact_search_v100k": (
+        lambda quick: make_retrieval_search(100_000, "exact", quick), 3,
+        _retrieval_meta(100_000, "exact")),
+    "ivf_search_v100k": (
+        lambda quick: make_retrieval_search(100_000, "ivf", quick), 3,
+        _retrieval_meta(100_000, "ivf")),
+    "exact_search_v1m": (
+        lambda quick: make_retrieval_search(1_000_000, "exact", quick), 2,
+        {**_retrieval_meta(1_000_000, "exact"), "headline": True}),
+    "ivf_search_v1m": (
+        lambda quick: make_retrieval_search(1_000_000, "ivf", quick), 2,
+        {**_retrieval_meta(1_000_000, "ivf"), "headline": True}),
+}
+
+
 PARALLEL_SUITE: Dict[str, Tuple[BenchFactory, int, Dict[str, object]]] = {
     "runner_serial": (
         lambda quick: make_runner_lineup(1, quick), 2,
@@ -632,6 +758,11 @@ def suite_summary(suite: str,
     For the ``optim`` suite: one ``sparse_vs_dense_v*`` speedup per
     dense/sparse train-step pair (dense mean / sparse mean), showing how
     the row-sparse gradient path scales with vocabulary size.
+
+    For the ``retrieval`` suite: one ``ivf_vs_exact_v*`` speedup per
+    catalog scale (exact mean / ivf mean) plus the shortlist recalls the
+    IVF factories measured at setup — the acceptance numbers for the
+    two-stage candidate pipeline.
     """
     if suite == "optim":
         by_name = {result.name: result for result in results}
@@ -653,6 +784,27 @@ def suite_summary(suite: str,
             return {}
         return {"speedups": {
             "incremental_vs_replay": replay.mean_s / incremental.mean_s}}
+    if suite == "retrieval":
+        by_name = {result.name: result for result in results}
+        speedups = {}
+        recalls = {}
+        for name, result in by_name.items():
+            if not name.startswith("exact_search_"):
+                continue
+            scale = name[len("exact_search_"):]
+            partner = by_name.get(f"ivf_search_{scale}")
+            if partner is None or partner.mean_s <= 0:
+                continue
+            speedups[f"ivf_vs_exact_{scale}"] = result.mean_s / partner.mean_s
+            recall = partner.meta.get("recall_at_shortlist")
+            if recall is not None:
+                recalls[scale] = recall
+        out: Dict[str, object] = {}
+        if speedups:
+            out["speedups"] = speedups
+        if recalls:
+            out["recalls"] = recalls
+        return out
     if suite != "parallel":
         return {}
     from ..parallel import available_cpus
@@ -689,6 +841,7 @@ SUITES: Dict[str, Dict[str, Tuple[BenchFactory, int, Dict[str, object]]]] = {
     "engine": ENGINE_SUITE,
     "optim": OPTIM_SUITE,
     "parallel": PARALLEL_SUITE,
+    "retrieval": RETRIEVAL_SUITE,
     "serve": SERVE_SUITE,
 }
 

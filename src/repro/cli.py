@@ -91,6 +91,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "batched with others")
     parser.add_argument("--session-capacity", type=int, default=10_000,
                         help="(serve) LRU capacity of the session store")
+    parser.add_argument("--retrieval", choices=["exact", "ivf"],
+                        default=None,
+                        help="(serve) candidate-generation mode: 'exact' "
+                             "scores the full catalog through the model "
+                             "head (and labels responses), 'ivf' cuts an "
+                             "ANN shortlist with the two-tower IVF index "
+                             "and re-ranks it through the exact causal "
+                             "head (see docs/RETRIEVAL.md)")
+    parser.add_argument("--shortlist", type=int, default=500,
+                        help="(serve --retrieval ivf) candidate shortlist "
+                             "size handed to the exact re-rank stage")
+    parser.add_argument("--nprobe", type=int, default=8,
+                        help="(serve --retrieval ivf) IVF cells probed per "
+                             "query; higher = better recall, slower")
     parser.add_argument("--detect-anomaly", action="store_true",
                         help="run with the autograd anomaly sanitizer: "
                              "NaN/Inf forward values and gradients abort "
@@ -246,9 +260,16 @@ def _run_eval(args: argparse.Namespace, settings: "BenchmarkSettings") -> int:
 def _run_serve(args: argparse.Namespace) -> int:
     """Run the HTTP serving layer (see :mod:`repro.serve`)."""
     from .serve import ServeApp, ServeServer
+    retrieval = None
+    if args.retrieval is not None:
+        from .retrieval import RetrievalConfig
+        retrieval = RetrievalConfig(mode=args.retrieval,
+                                    shortlist=args.shortlist,
+                                    nprobe=args.nprobe)
     app = ServeApp(session_capacity=args.session_capacity,
                    max_batch_size=args.max_batch_size,
-                   max_wait_ms=args.max_wait_ms)
+                   max_wait_ms=args.max_wait_ms,
+                   retrieval=retrieval)
     if not args.thread_sanitizer:
         return _serve_loop(args, app)
     from .analysis import threadsan
@@ -271,6 +292,15 @@ def _serve_loop(args: argparse.Namespace, app) -> int:
         artifacts = app.load_checkpoint(args.checkpoint)
         print(f"loaded {artifacts.model_class} from {args.checkpoint} "
               f"(scorer: {artifacts.mode}, generation {artifacts.generation})")
+        if app.retrieval is not None:
+            if artifacts.retrieval is not None:
+                print(f"retrieval: ivf "
+                      f"(clusters={artifacts.retrieval.index.n_clusters}, "
+                      f"shortlist={app.retrieval.shortlist}, "
+                      f"nprobe={app.retrieval.nprobe})")
+            else:
+                print(f"retrieval: {app.retrieval.mode} "
+                      f"(exact full-catalog scoring)")
     else:
         print("no --checkpoint given: serving degraded "
               "(popularity fallback) until one is installed")

@@ -1,0 +1,22 @@
+"""`repro.retrieval` — two-stage candidate generation for serving.
+
+Two-tower factorization of the frozen serving artifacts
+(:mod:`repro.retrieval.towers`), a from-scratch numpy IVF index with a
+brute-force oracle (:mod:`repro.retrieval.index`), and exact re-ranking
+of the shortlist through the model head (:mod:`repro.retrieval.rerank`).
+See ``docs/RETRIEVAL.md``.
+"""
+
+from .config import RETRIEVAL_MODES, RetrievalConfig
+from .index import (ASSIGN_CHUNK, ExactIndex, IVFIndex, kmeans_fit,
+                    top_ids_by_score)
+from .rerank import rerank_candidates, rerank_top_z
+from .towers import (SCORERS, ItemTower, build_item_tower, dot_scores,
+                     l2_scores, user_vector)
+
+__all__ = [
+    "ASSIGN_CHUNK", "ExactIndex", "IVFIndex", "ItemTower",
+    "RETRIEVAL_MODES", "RetrievalConfig", "SCORERS", "build_item_tower",
+    "dot_scores", "kmeans_fit", "l2_scores", "rerank_candidates",
+    "rerank_top_z", "top_ids_by_score", "user_vector",
+]

@@ -1,0 +1,117 @@
+"""Two-tower factorization of the frozen serving artifacts.
+
+The retrieval stage needs every score to decompose into ``scorer(user
+vector, item vector) + bias`` so an index over the item side can cut a
+shortlist without touching the model.  The frozen bundles built by
+:func:`repro.serve.registry.build_artifacts` factor exactly that way:
+
+* **item tower** — the composed output embedding table (rows ``1..V``;
+  the padding row 0 is never indexed) plus the per-item output bias,
+* **user tower** — the session's recurrent state pushed through the
+  model's head *without* the per-item causal effects: for GRU4Rec the
+  projected last hidden state (the head *is* a two-tower dot product, so
+  retrieval is exact), for Causer the attention-weighted state mixture
+  through the adapter (eq. 10 with the causal effects held at 1 — an
+  approximation the exact re-rank stage corrects over the shortlist).
+
+Scoring is pluggable: ``dot`` is the model's native inner-product head,
+``l2`` ranks by negative squared euclidean distance (plus bias), the
+usual choice when item vectors are normalized offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+
+def dot_scores(query: np.ndarray, vectors: np.ndarray,
+               bias: np.ndarray) -> np.ndarray:
+    """Inner-product scores, the native head of every servable model."""
+    return vectors @ query + bias
+
+
+def l2_scores(query: np.ndarray, vectors: np.ndarray,
+              bias: np.ndarray) -> np.ndarray:
+    """Negative squared L2 distance (higher = closer), plus bias."""
+    deltas = vectors - query[None, :]
+    return -(deltas * deltas).sum(axis=1) + bias
+
+
+#: name -> scorer(query (d,), vectors (N, d), bias (N,)) -> scores (N,)
+SCORERS: Dict[str, Callable[[np.ndarray, np.ndarray, np.ndarray],
+                            np.ndarray]] = {
+    "dot": dot_scores,
+    "l2": l2_scores,
+}
+
+
+@dataclass(frozen=True)
+class ItemTower:
+    """Frozen item-side arrays the index is built over (padding excluded)."""
+
+    vectors: np.ndarray          # (N, d) item embeddings, rows for ids
+    bias: np.ndarray             # (N,)
+    ids: np.ndarray              # (N,) catalog item ids (1..V)
+
+    def __post_init__(self) -> None:
+        if self.vectors.shape[0] != self.ids.shape[0]:
+            raise ValueError("item tower vectors/ids row mismatch")
+        if self.bias.shape[0] != self.ids.shape[0]:
+            raise ValueError("item tower bias/ids row mismatch")
+
+    @property
+    def size(self) -> int:
+        return int(self.ids.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.vectors.shape[1])
+
+
+def build_item_tower(artifacts) -> Optional[ItemTower]:
+    """Item tower from a frozen serving bundle; ``None`` for replay models.
+
+    Replay-mode artifacts carry no frozen head (the model's own
+    ``score_samples`` is the scorer), so there is nothing to index —
+    serving falls back to exact full scoring for those classes.
+    """
+    table = getattr(artifacts, "output_table", None)
+    bias = getattr(artifacts, "output_bias", None)
+    if table is None or bias is None:
+        return None
+    vectors = np.ascontiguousarray(table[1:])
+    item_bias = np.ascontiguousarray(bias[1:])
+    ids = np.arange(1, table.shape[0], dtype=np.int64)
+    for array in (vectors, item_bias, ids):
+        array.setflags(write=False)
+    return ItemTower(vectors=vectors, bias=item_bias, ids=ids)
+
+
+def user_vector(artifacts, view) -> Optional[np.ndarray]:
+    """User-tower query vector for one session snapshot, shape ``(d,)``.
+
+    Returns ``None`` when the bundle has no two-tower factorization
+    (replay models) or the session is empty — callers fall back to the
+    exact full-scoring path.
+    """
+    # Late imports: repro.serve imports this package at module level.
+    from ..serve.registry import (CausalServingArtifacts,
+                                  GRUServingArtifacts)
+    if view is None or view.steps == 0:
+        return None
+    if isinstance(artifacts, CausalServingArtifacts):
+        if view.states is None:
+            return None
+        from ..serve.scoring import _alpha
+        alpha = _alpha(view.states, view.last, artifacts.attention_proj)
+        context = alpha @ view.states                  # (H,)
+        return context @ artifacts.adapt_weight.T      # (d_e,)
+    if isinstance(artifacts, GRUServingArtifacts):
+        if view.last is None:
+            return None
+        rep = view.last[0] @ artifacts.project_weight.T
+        return rep + artifacts.project_bias
+    return None

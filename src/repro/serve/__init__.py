@@ -22,16 +22,17 @@ from .batcher import MicroBatcher
 from .http import InProcessClient, ServeApp, ServeError, ServeServer
 from .metrics import MetricsRegistry
 from .registry import (CausalServingArtifacts, CheckpointRegistry,
-                       GRUServingArtifacts, ServingArtifacts, build_artifacts)
-from .scoring import score_views, top_causal_edges
+                       GRUServingArtifacts, RetrievalArtifact,
+                       ServingArtifacts, build_artifacts, build_retrieval)
+from .scoring import score_view_candidates, score_views, top_causal_edges
 from .sessions import (RecurrentServingParams, ScoreView, SessionState,
                        SessionStore, gru_step, lstm_step)
 
 __all__ = [
     "CausalServingArtifacts", "CheckpointRegistry", "GRUServingArtifacts",
     "InProcessClient", "MetricsRegistry", "MicroBatcher",
-    "RecurrentServingParams", "ScoreView", "ServeApp", "ServeError",
-    "ServeServer", "ServingArtifacts", "SessionState", "SessionStore",
-    "build_artifacts", "gru_step", "lstm_step", "score_views",
-    "top_causal_edges",
+    "RecurrentServingParams", "RetrievalArtifact", "ScoreView", "ServeApp",
+    "ServeError", "ServeServer", "ServingArtifacts", "SessionState",
+    "SessionStore", "build_artifacts", "build_retrieval", "gru_step",
+    "lstm_step", "score_view_candidates", "score_views", "top_causal_edges",
 ]

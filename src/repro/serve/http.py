@@ -36,6 +36,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..models.base import rank_top_z
+from ..retrieval import RetrievalConfig, rerank_top_z, user_vector
 from .batcher import MicroBatcher
 from .metrics import MetricsRegistry
 from .registry import CheckpointRegistry, ServingArtifacts
@@ -92,8 +93,16 @@ class ServeApp:
                  metrics: Optional[MetricsRegistry] = None,
                  session_capacity: int = 10_000,
                  max_batch_size: int = 32, max_wait_ms: float = 2.0,
-                 default_z: int = 5) -> None:
-        self.registry = registry or CheckpointRegistry()
+                 default_z: int = 5,
+                 retrieval: Optional[RetrievalConfig] = None) -> None:
+        self.retrieval = retrieval
+        if registry is None:
+            registry = CheckpointRegistry(retrieval=retrieval)
+        elif retrieval is not None:
+            # An externally-owned registry adopts this app's retrieval
+            # config so hot swaps keep rebuilding the index.
+            registry.retrieval = retrieval
+        self.registry = registry
         self.metrics = metrics or MetricsRegistry()
         self.sessions = SessionStore(capacity=session_capacity)
         self.default_z = default_z
@@ -197,11 +206,64 @@ class ServeApp:
                     "generation": (None if artifacts is None
                                    else artifacts.generation)}
 
+        if self.retrieval is not None and self.retrieval.mode == "ivf":
+            items = self._retrieve_ivf(artifacts, view, z)
+            if items is not None:
+                return {"user_id": user_id, "items": items,
+                        "source": "model", "retrieval": "ivf",
+                        "model": artifacts.model_class,
+                        "generation": artifacts.generation}
+
         row = self.batcher.submit((artifacts, view))
         items = [i for i in rank_top_z(row[None, :].copy(), z)[0] if i != 0]
-        return {"user_id": user_id, "items": items, "source": "model",
-                "model": artifacts.model_class,
-                "generation": artifacts.generation}
+        response = {"user_id": user_id, "items": items, "source": "model",
+                    "model": artifacts.model_class,
+                    "generation": artifacts.generation}
+        if self.retrieval is not None:
+            # Full-catalog scoring through the exact head: label it so
+            # clients can tell the oracle path from the ANN shortlist.
+            response["retrieval"] = "exact"
+            self.metrics.inc("serve_retrieval_requests_total",
+                             {"mode": "exact"})
+        return response
+
+    def _retrieve_ivf(self, artifacts: ServingArtifacts, view,
+                      z: int) -> Optional[List[int]]:
+        """Two-stage path: IVF shortlist, then exact re-rank.
+
+        Returns ``None`` when this bundle cannot retrieve (replay model,
+        no index, or a defensive generation mismatch) — the caller falls
+        back to exact full-catalog scoring.
+        """
+        retrieval = artifacts.retrieval
+        if retrieval is None:
+            return None
+        if retrieval.generation != artifacts.generation:
+            # Unreachable by construction (the index rides inside the
+            # bundle); counted rather than served if it ever regresses.
+            self.metrics.inc("serve_retrieval_generation_mismatch_total")
+            return None
+        query = user_vector(artifacts, view)
+        if query is None:
+            return None
+        config = self.retrieval
+        started = time.perf_counter()
+        shortlist = retrieval.index.search(query, config.shortlist,
+                                           nprobe=config.nprobe)
+        searched = time.perf_counter()
+        items = rerank_top_z(artifacts, view, shortlist, z)
+        self.metrics.observe("serve_retrieval_stage_seconds",
+                             searched - started, {"stage": "search"})
+        self.metrics.observe("serve_retrieval_stage_seconds",
+                             time.perf_counter() - searched,
+                             {"stage": "rerank"})
+        self.metrics.inc("serve_retrieval_requests_total", {"mode": "ivf"})
+        # Shortlist hit-rate: a "hit" filled the requested top-z entirely
+        # from the shortlist; a miss means the probed cells held fewer
+        # than z candidates (raise nprobe/shortlist if misses grow).
+        self.metrics.inc("serve_shortlist_hit_total"
+                         if len(items) >= z else "serve_shortlist_miss_total")
+        return items
 
     def _events(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         user_id = _require_int(payload, "user_id")

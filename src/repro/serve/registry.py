@@ -31,7 +31,45 @@ from ..core.causer import Causer
 from ..io import PathLike, load_model
 from ..models.gru4rec import GRU4Rec
 from ..nn import no_grad
+from ..retrieval import IVFIndex, ItemTower, RetrievalConfig, build_item_tower
 from .sessions import RecurrentServingParams
+
+
+@dataclass(frozen=True)
+class RetrievalArtifact:
+    """Frozen retrieval stage for one generation: item tower + IVF index.
+
+    Built inside :func:`build_artifacts`, so the index, the embedding
+    tables it was trained on, and the bundle's generation are one
+    immutable object — a hot swap can never pair a stale index with new
+    embeddings (the stress tests assert this under the thread sanitizer).
+    """
+
+    config: RetrievalConfig
+    tower: ItemTower
+    index: IVFIndex
+    generation: int
+
+    def describe(self) -> Dict[str, Any]:
+        return {"mode": self.config.mode,
+                "scorer": self.config.scorer,
+                "n_clusters": self.index.n_clusters,
+                "shortlist": self.config.shortlist,
+                "nprobe": self.config.nprobe}
+
+
+def build_retrieval(artifacts: "ServingArtifacts",
+                    config: RetrievalConfig) -> Optional[RetrievalArtifact]:
+    """IVF retrieval bundle for one frozen artifact set (None for replay)."""
+    tower = build_item_tower(artifacts)
+    if tower is None:
+        return None
+    index = IVFIndex.build(tower, n_clusters=config.n_clusters,
+                           scorer=config.scorer, seed=config.seed,
+                           iters=config.kmeans_iters,
+                           workers=config.workers)
+    return RetrievalArtifact(config=config, tower=tower, index=index,
+                             generation=artifacts.generation)
 
 
 @dataclass
@@ -50,6 +88,10 @@ class ServingArtifacts:
     recurrent: Optional[RecurrentServingParams] = None
     #: ``"incremental"`` or ``"replay"`` — which scorer handles this model.
     mode: str = "replay"
+    #: Frozen retrieval stage (item tower + IVF index), built when the
+    #: registry has a retrieval config in ``ivf`` mode; ``None`` otherwise
+    #: (serving scores the full catalog exactly).
+    retrieval: Optional[RetrievalArtifact] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -63,7 +105,9 @@ class ServingArtifacts:
                 "model_class": self.model_class,
                 "mode": self.mode,
                 "num_items": self.num_items,
-                "max_history": self.max_history}
+                "max_history": self.max_history,
+                "retrieval": (None if self.retrieval is None
+                              else self.retrieval.describe())}
 
 
 @dataclass
@@ -136,13 +180,18 @@ def _gru4rec_recurrent(model: GRU4Rec) -> RecurrentServingParams:
         track_states=False)
 
 
-def build_artifacts(model, generation: int,
-                    path: Optional[str] = None) -> ServingArtifacts:
+def build_artifacts(model, generation: int, path: Optional[str] = None,
+                    retrieval: Optional[RetrievalConfig] = None
+                    ) -> ServingArtifacts:
     """Precompute the frozen serving bundle for one loaded model.
 
     ``type() is`` dispatch on purpose: subclasses (e.g. ``DynamicCauser``'s
     segment-dependent causal matrix) do not satisfy the frozen-artifact
     assumptions and fall back to the replay scorer.
+
+    With a ``retrieval`` config in ``ivf`` mode the bundle also carries a
+    freshly-built :class:`RetrievalArtifact` (rebuilt on every install, so
+    the index always matches this generation's embedding tables).
     """
     model.eval()
     common = dict(generation=generation, path=path, model=model,
@@ -154,7 +203,7 @@ def build_artifacts(model, generation: int,
         item_matrix = model.item_causal_matrix()
         gated = np.where(item_matrix > cfg.epsilon, item_matrix, 0.0)
         gated.setflags(write=False)
-        return CausalServingArtifacts(
+        artifacts: ServingArtifacts = CausalServingArtifacts(
             mode="incremental", recurrent=_causer_recurrent(model),
             item_matrix=item_matrix, gated_matrix=gated,
             hard_clusters=model.clusters.hard_assignments(),
@@ -164,26 +213,39 @@ def build_artifacts(model, generation: int,
             output_table=model.output_embedding.weight.data,
             output_bias=model.output_bias.data,
             use_causal=cfg.use_causal, epsilon=cfg.epsilon, **common)
-    if type(model) is GRU4Rec:
-        return GRUServingArtifacts(
+    elif type(model) is GRU4Rec:
+        artifacts = GRUServingArtifacts(
             mode="incremental", recurrent=_gru4rec_recurrent(model),
             project_weight=model.project.weight.data,
             project_bias=model.project.bias.data,
             output_table=model.output_embedding.weight.data,
             output_bias=model.output_bias.data, **common)
-    # Everything else (attention models, factorization baselines, strict /
-    # cluster-filtered Causer, Causer subclasses) replays through the
-    # model's own batch scorer — trivially identical to offline scoring.
-    return ServingArtifacts(mode="replay", **common)
+    else:
+        # Everything else (attention models, factorization baselines,
+        # strict / cluster-filtered Causer, Causer subclasses) replays
+        # through the model's own batch scorer — trivially identical to
+        # offline scoring.
+        artifacts = ServingArtifacts(mode="replay", **common)
+    if retrieval is not None and retrieval.mode == "ivf":
+        artifacts.retrieval = build_retrieval(artifacts, retrieval)
+    return artifacts
 
 
 class CheckpointRegistry:
-    """Holds the current serving bundle; ``install`` hot-swaps it."""
+    """Holds the current serving bundle; ``install`` hot-swaps it.
 
-    def __init__(self) -> None:
+    With a ``retrieval`` config the registry also (re)builds the IVF
+    retrieval artifact on every install — the index rides inside the
+    generation-counted bundle, so readers can never observe a
+    mixed-generation (index, embedding) pair.
+    """
+
+    def __init__(self,
+                 retrieval: Optional[RetrievalConfig] = None) -> None:
         self._lock = threading.Lock()
         self._current: Optional[ServingArtifacts] = None
         self._generation = 0
+        self.retrieval = retrieval
 
     def load(self, path: PathLike) -> ServingArtifacts:
         """Load a checkpoint file and make it the live bundle."""
@@ -199,7 +261,8 @@ class CheckpointRegistry:
         with self._lock:
             self._generation += 1
             generation = self._generation
-        artifacts = build_artifacts(model, generation, path=path)
+        artifacts = build_artifacts(model, generation, path=path,
+                                    retrieval=self.retrieval)
         with self._lock:
             # A concurrent install may have published a newer generation
             # while we precomputed; never roll the registry backwards.

@@ -19,7 +19,7 @@ tie-breaking match offline evaluation exactly.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -47,38 +47,67 @@ def _alpha(states: np.ndarray, last: np.ndarray,
     return exp / (exp.sum() + 1e-12)
 
 
-def _score_causer(artifacts: CausalServingArtifacts,
-                  view: ScoreView) -> np.ndarray:
-    """Eq. 10 full-catalog logits from one session snapshot."""
-    catalog = artifacts.num_items + 1
+def _score_causer(artifacts: CausalServingArtifacts, view: ScoreView,
+                  candidates: Optional[np.ndarray] = None) -> np.ndarray:
+    """Eq. 10 logits from one session snapshot.
+
+    With ``candidates`` (an id array) the head runs restricted to those
+    columns, **bit-identical** to the full-catalog pass gathered at the
+    same columns — the contract the retrieval re-rank stage relies on.
+    BLAS matmuls pick different kernels (and accumulation orders) per
+    output shape, so nothing candidate-shaped may go through one: the
+    candidate axis only ever sees elementwise arithmetic and per-row
+    pairwise sums (whose bits depend on the reduced length alone), and
+    the time contraction is an explicit loop over the ≤ ``max_history``
+    steps.  The only matmul, ``states @ Vᵀ``, is candidate-independent.
+    """
+    catalog = (artifacts.num_items + 1 if candidates is None
+               else candidates.shape[0])
+    out_table = (artifacts.output_table if candidates is None
+                 else artifacts.output_table[candidates])
+    out_bias = (artifacts.output_bias if candidates is None
+                else artifacts.output_bias[candidates])
     if view.steps == 0 or view.states is None:
         # Empty history: zero context, so only the popularity prior scores.
-        return artifacts.output_bias.copy()
+        return out_bias.copy()
     states = view.states                          # (T, H)
     alpha = _alpha(states, view.last, artifacts.attention_proj)
     if artifacts.use_causal:
         effects = np.zeros((view.steps, catalog))
         for t, basket in enumerate(view.events):
-            effects[t] = artifacts.gated_matrix[list(basket)].sum(axis=0)
+            rows = artifacts.gated_matrix[list(basket)]
+            if candidates is not None:
+                rows = rows[:, candidates]
+            effects[t] = rows.sum(axis=0)
     else:
         effects = np.ones((view.steps, catalog))
     weights = effects * alpha[:, None]            # (T, C)
-    context = weights.T @ states                  # (C, H)
-    adapted = context @ artifacts.adapt_weight.T  # (C, d_e)
-    return ((adapted * artifacts.output_table).sum(axis=1)
-            + artifacts.output_bias)
+    proj = states @ artifacts.adapt_weight.T      # (T, d_e)
+    scores = out_bias.copy()
+    for t in range(view.steps):
+        dots = (out_table * proj[t]).sum(axis=1)  # (C,)
+        scores = scores + weights[t] * dots
+    return scores
 
 
 def _score_gru_batch(artifacts: GRUServingArtifacts,
                      views: Sequence[ScoreView]) -> np.ndarray:
-    """GRU4Rec head over a micro-batch: one stacked GEMM for all views."""
+    """GRU4Rec head over a micro-batch of views.
+
+    The projection runs per view — ``(1, H)`` matmuls, never a stacked
+    GEMM — and the output stage is an elementwise multiply + per-row sum:
+    both choices keep every view's scores bit-identical no matter how the
+    batcher grouped it, which is what lets the retrieval re-rank
+    (:func:`score_view_candidates`) reproduce the full pass exactly.
+    """
     hidden = artifacts.recurrent.hidden_size
-    last = np.zeros((len(views), hidden))
+    out = np.empty((len(views), artifacts.output_table.shape[0]))
     for row, view in enumerate(views):
-        if view.last is not None:
-            last[row] = view.last[0]
-    rep = last @ artifacts.project_weight.T + artifacts.project_bias
-    return rep @ artifacts.output_table.T + artifacts.output_bias[None, :]
+        last = (np.zeros((1, hidden)) if view.last is None else view.last)
+        rep = last @ artifacts.project_weight.T + artifacts.project_bias
+        out[row] = ((artifacts.output_table * rep[0]).sum(axis=1)
+                    + artifacts.output_bias)
+    return out
 
 
 def _score_replay(artifacts: ServingArtifacts,
@@ -107,6 +136,33 @@ def score_views(artifacts: ServingArtifacts,
     if isinstance(artifacts, GRUServingArtifacts):
         return _score_gru_batch(artifacts, views)
     return _score_replay(artifacts, views)
+
+
+def score_view_candidates(artifacts: ServingArtifacts, view: ScoreView,
+                          candidates: np.ndarray) -> np.ndarray:
+    """Exact-head scores restricted to ``candidates`` for one session.
+
+    The retrieval re-rank entry point: same arithmetic as
+    :func:`score_views`, run only over the candidate columns.  For the
+    incremental heads (Causer eq. 10, GRU4Rec projection) every
+    per-candidate value is computed by row/column-independent operations,
+    so the result is bit-identical to the full-catalog scores gathered at
+    ``candidates``; replay models score the full catalog through their
+    own batch path and gather (identical by construction).
+    """
+    candidates = np.asarray(candidates, dtype=np.int64)
+    if candidates.size == 0:
+        return np.zeros(0)
+    if isinstance(artifacts, CausalServingArtifacts):
+        return _score_causer(artifacts, view, candidates)
+    if isinstance(artifacts, GRUServingArtifacts):
+        hidden = artifacts.recurrent.hidden_size
+        last = (np.zeros((1, hidden)) if view.last is None
+                else view.last)
+        rep = last @ artifacts.project_weight.T + artifacts.project_bias
+        return ((artifacts.output_table[candidates] * rep[0]).sum(axis=1)
+                + artifacts.output_bias[candidates])
+    return _score_replay(artifacts, [view])[0][candidates]
 
 
 def popularity_scores(counts: np.ndarray, num_rows: int = 1) -> np.ndarray:

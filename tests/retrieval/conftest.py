@@ -1,0 +1,29 @@
+"""Retrieval-suite fixtures: tiny models in each serving mode."""
+
+import pytest
+
+from repro.exp import BenchmarkSettings, build_model
+
+
+@pytest.fixture(scope="package")
+def quick_settings():
+    return BenchmarkSettings(embedding_dim=8, hidden_dim=8, max_history=8,
+                             quick=True)
+
+
+@pytest.fixture(scope="package")
+def causer_model(tiny_dataset, quick_settings):
+    """Shared-filtering GRU Causer -> CausalServingArtifacts."""
+    return build_model("Causer (GRU)", tiny_dataset, quick_settings)
+
+
+@pytest.fixture(scope="package")
+def gru_model(tiny_dataset, quick_settings):
+    """GRU4Rec -> GRUServingArtifacts (the exactly-two-tower head)."""
+    return build_model("GRU4Rec", tiny_dataset, quick_settings)
+
+
+@pytest.fixture(scope="package")
+def replay_model(tiny_dataset, quick_settings):
+    """A replay-mode model with no frozen head (no item tower)."""
+    return build_model("NARM", tiny_dataset, quick_settings)

@@ -111,6 +111,99 @@ def test_concurrent_hot_swap_stress(served_causer, served_gru4rec, make_app):
     assert body["status"] == "ok"
 
 
+def test_ivf_hot_swap_stress(served_causer, served_gru4rec, make_app):
+    """Hot swaps rebuilding the IVF index mid-traffic under full threadsan.
+
+    The swapper alternates model classes, so every install retrains the
+    coarse quantizer and republishes a fresh :class:`RetrievalArtifact`
+    inside the new bundle.  Readers must never observe a mixed-generation
+    (index, embedding) pair — asserted structurally (the index rides
+    inside the generation-counted bundle) and dynamically (the defensive
+    ``serve_retrieval_generation_mismatch_total`` counter stays absent),
+    with per-thread monotone generations and zero sanitizer findings.
+    """
+    from repro.retrieval import RetrievalConfig
+
+    config = RetrievalConfig(mode="ivf", shortlist=10, nprobe=2,
+                             n_clusters=4, seed=0)
+    app, client = make_app(served_causer, max_wait_ms=0.2, retrieval=config)
+    num_items = min(served_causer.num_items, served_gru4rec.num_items)
+    failures = []
+    start = threading.Barrier(EVENT_THREADS + RECOMMEND_THREADS + 1)
+
+    def eventer(thread_id):
+        user_id = 200 + thread_id
+        start.wait(timeout=30)
+        for k in range(1, EVENTS_PER_USER + 1):
+            basket = [1 + (thread_id * 5 + k) % num_items]
+            status, body = client.post(
+                "/v1/events", {"user_id": user_id, "basket": basket})
+            if status != 200:
+                failures.append(f"event {status}: {body}")
+                return
+
+    def recommender(thread_id):
+        start.wait(timeout=30)
+        last_generation = 0
+        for k in range(RECOMMENDS_PER_THREAD):
+            user_id = 200 + (thread_id + k) % EVENT_THREADS
+            status, body = client.post(
+                "/v1/recommend", {"user_id": user_id, "z": 3})
+            if status != 200:
+                failures.append(f"recommend {status}: {body}")
+                return
+            generation = body["generation"]
+            if generation is None or generation < last_generation:
+                failures.append(
+                    f"generation moved backwards on one reader: "
+                    f"{last_generation} -> {generation}")
+                return
+            last_generation = generation
+            if body["source"] == "model" and body.get("retrieval") not in (
+                    "ivf", "exact"):
+                failures.append(f"unlabeled retrieval source: {body}")
+                return
+
+    def swapper():
+        start.wait(timeout=30)
+        for k in range(SWAPS):
+            model = served_gru4rec if k % 2 else served_causer
+            artifacts = app.install_model(model)
+            if artifacts.retrieval is None:
+                failures.append(
+                    f"swap #{k} published no retrieval artifact")
+                return
+            if artifacts.retrieval.generation != artifacts.generation:
+                failures.append(
+                    f"swap #{k} published a mixed-generation pair: index "
+                    f"gen {artifacts.retrieval.generation}, bundle gen "
+                    f"{artifacts.generation}")
+                return
+
+    with threadsan(long_hold_ms=2000.0) as san:
+        san.instrument_app(app)
+        threads = ([threading.Thread(target=eventer, args=(i,), daemon=True)
+                    for i in range(EVENT_THREADS)]
+                   + [threading.Thread(target=recommender, args=(i,),
+                                       daemon=True)
+                      for i in range(RECOMMEND_THREADS)]
+                   + [threading.Thread(target=swapper, daemon=True)])
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+            assert not thread.is_alive(), "stress thread wedged"
+        assert failures == []
+        app.close()
+        assert san.findings == [], san.render_report()
+
+    # The defensive mismatch counter must never have fired: the metric is
+    # only created on first increment, so its absence is the assertion.
+    status, text = client.get("/metrics")
+    assert status == 200
+    assert "serve_retrieval_generation_mismatch_total" not in text
+
+
 def test_swap_during_traffic_preserves_per_user_history(served_causer,
                                                         served_lstm_causer,
                                                         make_app):
