@@ -83,19 +83,29 @@ def time_workload(name: str, make_workload: Callable[[], Callable[[], object]],
     generation) outside the timed region and returns the zero-argument
     callable to measure.  ``warmup`` untimed calls run first so one-time
     costs (allocator growth, numpy warm paths) do not pollute the samples.
+
+    Workloads that own external resources (worker processes, shared
+    memory) may expose a ``close`` attribute on the callable; it runs
+    untimed after the last repeat — even when a repeat raises — so a
+    failed bench cannot leak processes or /dev/shm segments.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     if warmup < 0:
         raise ValueError(f"warmup must be >= 0, got {warmup}")
     workload = make_workload()
-    for _ in range(warmup):
-        workload()
-    walls: List[float] = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        workload()
-        walls.append(time.perf_counter() - start)
+    try:
+        for _ in range(warmup):
+            workload()
+        walls: List[float] = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            workload()
+            walls.append(time.perf_counter() - start)
+    finally:
+        closer = getattr(workload, "close", None)
+        if closer is not None:
+            closer()
     return BenchResult(name=name, wall_s=walls, rss_peak_kb=peak_rss_kb(),
                        warmup=warmup, meta=dict(meta or {}))
 

@@ -1,11 +1,23 @@
-"""Model persistence: save/load trained models to a single ``.npz`` file.
+"""Model persistence: save/load trained models.
 
-The archive stores every named parameter plus a JSON header with the model
-class, a format version, config dataclass fields, vocabulary sizes and any
-extra constructor arguments, so a model can be restored for inference
-without retraining.  Every class in :mod:`repro.models` (and the Causer
-core) is registered here; the serving registry
-(:mod:`repro.serve.registry`) loads checkpoints through this module.
+Two on-disk formats share one JSON header (model class, format version,
+config dataclass fields, vocabulary sizes, extra constructor arguments):
+
+* ``.npz`` (default) — a single compressed archive.  Loading streams one
+  parameter at a time and *adopts* each decompressed array
+  (``load_state_dict(assign=True)``), so cold-start peak RSS is one
+  model plus one parameter, not the historical ~2× artifact size.
+  zip-compressed members cannot be mmapped (numpy silently ignores
+  ``mmap_mode`` for npz), which is why the second format exists.
+* **directory** (``save_model(..., format="dir")``) — ``header.json``
+  plus one raw ``.npy`` per parameter.  Loading maps every parameter
+  with ``np.load(mmap_mode="r")``: pages fault in on first touch and
+  stay evictable, so a serving coordinator's cold start touches only
+  the tables it actually reads.
+
+Every class in :mod:`repro.models` (and the Causer core) is registered
+here; the serving registry (:mod:`repro.serve.registry`) loads
+checkpoints through this module.
 """
 
 from __future__ import annotations
@@ -13,7 +25,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import pathlib
-from typing import Callable, Dict, Union
+from typing import Callable, Dict, Iterator, Mapping, Union
 
 import numpy as np
 
@@ -61,16 +73,12 @@ def registered_model_classes() -> Dict[str, type]:
     return dict(_MODEL_CLASSES)
 
 
-def save_model(model, path: PathLike) -> None:
-    """Serialize a trained model (parameters + config) to ``path``.
-
-    Supported classes: Causer and every baseline in :mod:`repro.models`.
-    """
+def _model_header(model) -> Dict[str, object]:
     class_name = type(model).__name__
     if class_name not in _MODEL_CLASSES:
         raise TypeError(f"cannot serialize {class_name}; supported: "
                         f"{sorted(_MODEL_CLASSES)}")
-    header = {
+    return {
         "class": class_name,
         "format_version": FORMAT_VERSION,
         "num_users": model.num_users,
@@ -78,50 +86,154 @@ def save_model(model, path: PathLike) -> None:
         "config": dataclasses.asdict(model.config),
         "extra": _EXTRA_KWARGS.get(class_name, lambda m: {})(model),
     }
+
+
+def _model_features(model):
+    class_name = type(model).__name__
+    if class_name == "Causer":
+        return model.clusters.raw_features
+    if class_name in _NEEDS_FEATURES:
+        return model.item_features
+    return None
+
+
+def save_model(model, path: PathLike, format: str = "npz") -> None:
+    """Serialize a trained model (parameters + config) to ``path``.
+
+    ``format="npz"`` writes the single-file compressed archive;
+    ``format="dir"`` writes a directory of raw ``.npy`` files that
+    :func:`load_model` can map with ``mmap_mode="r"`` (low cold-start
+    RSS).  Supported classes: Causer and every baseline in
+    :mod:`repro.models`.
+    """
+    if format not in ("npz", "dir"):
+        raise ValueError(f"format must be 'npz' or 'dir', got {format!r}")
+    header = _model_header(model)
+    features = _model_features(model)
+    if format == "dir":
+        root = pathlib.Path(path)
+        (root / "params").mkdir(parents=True, exist_ok=True)
+        header["format"] = "dir"
+        header["params"] = sorted(name for name, _
+                                  in model.named_parameters())
+        with open(root / "header.json", "w", encoding="utf-8") as fh:
+            json.dump(header, fh, indent=1)
+        if features is not None:
+            np.save(root / "features.npy", features)
+        for name, param in model.named_parameters():
+            np.save(root / "params" / f"{name}.npy", param.data)
+        return
     arrays = {f"param::{name}": values
               for name, values in model.state_dict().items()}
-    if class_name == "Causer":
-        arrays["features"] = model.clusters.raw_features
-    elif class_name in _NEEDS_FEATURES:
-        arrays["features"] = model.item_features
+    if features is not None:
+        arrays["features"] = features
     arrays["header"] = np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8)
     np.savez_compressed(str(path), **arrays)
 
 
-def load_model(path: PathLike):
+class _NpzState(Mapping):
+    """Lazy parameter mapping over an open npz archive.
+
+    ``load_state_dict`` pulls one value at a time, so only a single
+    decompressed parameter is ever in flight (the archive members are
+    decompressed on ``__getitem__``, not up front).
+    """
+
+    def __init__(self, archive, prefix: str = "param::") -> None:
+        self._archive = archive
+        self._prefix = prefix
+        self._names = [key[len(prefix):] for key in archive.files
+                       if key.startswith(prefix)]
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._archive[self._prefix + name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+
+class _DirState(Mapping):
+    """Parameter mapping over a directory checkpoint, one mmap per file."""
+
+    def __init__(self, root: pathlib.Path, names, mmap: bool) -> None:
+        self._root = root
+        self._names = list(names)
+        self._mmap_mode = "r" if mmap else None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        if name not in self._names:
+            raise KeyError(name)
+        return np.load(self._root / "params" / f"{name}.npy",
+                       mmap_mode=self._mmap_mode)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+
+def _check_header(path: PathLike, header: Dict[str, object]):
+    version = header.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported checkpoint format_version {version!r} "
+            f"(this build reads version {FORMAT_VERSION}); re-save the "
+            f"model with the current repro.io.save_model")
+    class_name = header["class"]
+    if class_name not in _MODEL_CLASSES:
+        raise ValueError(
+            f"{path}: unknown model class {class_name!r} in archive "
+            f"header; registered classes: {sorted(_MODEL_CLASSES)}")
+    config_cls = CauserConfig if class_name == "Causer" else TrainConfig
+    config_fields = {f.name for f in dataclasses.fields(config_cls)}
+    config = config_cls(**{k: v for k, v in header["config"].items()
+                           if k in config_fields})
+    return _MODEL_CLASSES[class_name], class_name, config
+
+
+def _construct(cls, class_name: str, header, config, features):
+    extra = header.get("extra", {})
+    if class_name in _NEEDS_FEATURES:
+        return cls(header["num_users"], header["num_items"], features,
+                   config, **extra)
+    return cls(header["num_users"], header["num_items"], config, **extra)
+
+
+def load_model(path: PathLike, mmap: bool = True):
     """Restore a model saved with :func:`save_model`.
 
-    Raises :class:`ValueError` (naming the file) when the archive declares
-    an unknown model class or a format version this build cannot read.
+    Directory checkpoints map their parameters read-only
+    (``mmap_mode="r"``) unless ``mmap=False`` — pass that when the
+    loaded model will be trained further (in-place optimizer updates
+    need writable buffers).  npz checkpoints stream one decompressed
+    parameter at a time; both paths adopt arrays without copying.
+
+    Raises :class:`ValueError` (naming the file) when the archive
+    declares an unknown model class or an unreadable format version.
     """
-    with np.load(str(path)) as archive:
-        header = json.loads(bytes(archive["header"]).decode("utf-8"))
-        version = header.get("format_version")
-        if version != FORMAT_VERSION:
-            raise ValueError(
-                f"{path}: unsupported checkpoint format_version {version!r} "
-                f"(this build reads version {FORMAT_VERSION}); re-save the "
-                f"model with the current repro.io.save_model")
-        class_name = header["class"]
-        if class_name not in _MODEL_CLASSES:
-            raise ValueError(
-                f"{path}: unknown model class {class_name!r} in archive "
-                f"header; registered classes: {sorted(_MODEL_CLASSES)}")
-        config_cls = CauserConfig if class_name == "Causer" else TrainConfig
-        config_fields = {f.name for f in dataclasses.fields(config_cls)}
-        config = config_cls(**{k: v for k, v in header["config"].items()
-                               if k in config_fields})
-        cls = _MODEL_CLASSES[class_name]
-        extra = header.get("extra", {})
+    root = pathlib.Path(path)
+    if root.is_dir():
+        with open(root / "header.json", "r", encoding="utf-8") as fh:
+            header = json.load(fh)
+        cls, class_name, config = _check_header(path, header)
+        features = None
         if class_name in _NEEDS_FEATURES:
-            model = cls(header["num_users"], header["num_items"],
-                        archive["features"], config, **extra)
-        else:
-            model = cls(header["num_users"], header["num_items"], config,
-                        **extra)
-        state = {key[len("param::"):]: archive[key]
-                 for key in archive.files if key.startswith("param::")}
-        model.load_state_dict(state)
+            features = np.load(root / "features.npy")
+        model = _construct(cls, class_name, header, config, features)
+        model.load_state_dict(_DirState(root, header["params"], mmap),
+                              assign=True)
+    else:
+        with np.load(str(path)) as archive:
+            header = json.loads(bytes(archive["header"]).decode("utf-8"))
+            cls, class_name, config = _check_header(path, header)
+            features = (archive["features"]
+                        if class_name in _NEEDS_FEATURES else None)
+            model = _construct(cls, class_name, header, config, features)
+            model.load_state_dict(_NpzState(archive), assign=True)
     model.eval()
     return model

@@ -7,7 +7,7 @@ parameters and sub-modules, ``parameters()`` walks the tree, and
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -134,19 +134,35 @@ class Module:
     def state_dict(self) -> Dict[str, np.ndarray]:
         return {name: param.data.copy() for name, param in self.named_parameters()}
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+    def load_state_dict(self, state: Mapping[str, np.ndarray],
+                        assign: bool = False) -> None:
+        """Load parameters from ``state`` (any mapping, lazily fetched).
+
+        ``assign=False`` copies into the existing parameter buffers (the
+        historical behavior, safe for a model that keeps training).
+        ``assign=True`` *adopts* each array as ``param.data`` without a
+        copy — fetching values one key at a time — so loading never holds
+        two full copies of the model in memory; mmap-backed arrays stay
+        mmap-backed.  Adopted arrays may be read-only: use ``assign``
+        for inference/serving, not for a model about to be optimized
+        in place.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         if missing:
             raise KeyError(f"state dict is missing parameters: {sorted(missing)}")
-        for name, values in state.items():
+        for name in state:
             if name not in own:
                 raise KeyError(f"unexpected parameter in state dict: {name}")
+            values = state[name]
             if own[name].data.shape != values.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: "
                     f"{own[name].data.shape} vs {values.shape}")
-            own[name].data[...] = values
+            if assign:
+                own[name].data = values
+            else:
+                own[name].data[...] = values
 
     # -- call protocol ----------------------------------------------------
     def forward(self, *args, **kwargs):

@@ -11,12 +11,15 @@ from .config import RETRIEVAL_MODES, RetrievalConfig
 from .index import (ASSIGN_CHUNK, ExactIndex, IVFIndex, kmeans_fit,
                     top_ids_by_score)
 from .rerank import rerank_candidates, rerank_top_z
-from .towers import (SCORERS, ItemTower, build_item_tower, dot_scores,
-                     l2_scores, user_vector)
+from .towers import (QUANTIZE_MODES, SCORERS, ItemTower, QuantizedTable,
+                     as_dense, build_item_tower, dot_scores, l2_scores,
+                     table_nbytes, take_rows, user_vector)
 
 __all__ = [
     "ASSIGN_CHUNK", "ExactIndex", "IVFIndex", "ItemTower",
-    "RETRIEVAL_MODES", "RetrievalConfig", "SCORERS", "build_item_tower",
+    "QUANTIZE_MODES", "QuantizedTable", "RETRIEVAL_MODES",
+    "RetrievalConfig", "SCORERS", "as_dense", "build_item_tower",
     "dot_scores", "kmeans_fit", "l2_scores", "rerank_candidates",
-    "rerank_top_z", "top_ids_by_score", "user_vector",
+    "rerank_top_z", "table_nbytes", "take_rows", "top_ids_by_score",
+    "user_vector",
 ]

@@ -29,7 +29,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from .towers import SCORERS, ItemTower
+from .towers import SCORERS, ItemTower, as_dense
 
 #: Rows per assignment chunk.  Fixed (never derived from worker count) so
 #: the chunk boundaries — and therefore every reduction — are identical
@@ -234,7 +234,11 @@ class IVFIndex:
         ids = [self.list_ids[j] for j in probes if self.list_ids[j].size]
         if not ids:
             return np.empty(0, dtype=np.int64)
-        scores = [self._scorer(query, self.list_vectors[j], self.list_bias[j])
+        # ``as_dense`` makes quantized inverted lists scoreable: fp16
+        # lists upcast inside the matmul, int8 lists dequantize per
+        # probed cell (cost comparable to the scoring matmul itself).
+        scores = [self._scorer(query, as_dense(self.list_vectors[j]),
+                               self.list_bias[j])
                   for j in probes if self.list_ids[j].size]
         return top_ids_by_score(np.concatenate(scores), np.concatenate(ids),
                                 k)

@@ -135,21 +135,47 @@ class GRUServingArtifacts(ServingArtifacts):
     output_bias: Optional[np.ndarray] = None
 
 
+@dataclass(frozen=True)
+class TanhUserInit:
+    """Causer's learned initial state ``tanh(u Wᵀ + b)`` per user id.
+
+    A module-level callable (not a closure) so the whole
+    :class:`RecurrentServingParams` bundle pickles — the multi-process
+    serving layer ships artifacts through shared memory.
+    """
+
+    user_table: np.ndarray
+    init_w: np.ndarray
+    init_b: np.ndarray
+    num_users: int
+
+    def __call__(self, user_id: int) -> np.ndarray:
+        u = self.user_table[user_id % self.num_users][None, :]
+        return np.tanh(u @ self.init_w.T + self.init_b)
+
+
+@dataclass(frozen=True)
+class ZeroInit:
+    """Session-only models start every user from the zero state."""
+
+    hidden: int
+
+    def __call__(self, user_id: int) -> np.ndarray:
+        return np.zeros((1, self.hidden))
+
+
 def _causer_recurrent(model: Causer) -> RecurrentServingParams:
     """Incremental-update params mirroring ``Causer._history_states``."""
     with no_grad(model):
+        # ``encode() + weight`` materializes a fresh tensor already — a
+        # further ``.copy()`` would only double peak RSS during install.
         input_table = (model.clusters.encode()
-                       + model.item_embedding.weight).data.copy()
+                       + model.item_embedding.weight).data
     cell = model.rnn.cell
-    user_table = model.user_embedding.weight.data
-    init_w = model.user_init.weight.data
-    init_b = model.user_init.bias.data
-    num_users = max(model.num_users, 1)
-
-    def init_h(user_id: int) -> np.ndarray:
-        u = user_table[user_id % num_users][None, :]
-        return np.tanh(u @ init_w.T + init_b)
-
+    init_h = TanhUserInit(user_table=model.user_embedding.weight.data,
+                          init_w=model.user_init.weight.data,
+                          init_b=model.user_init.bias.data,
+                          num_users=max(model.num_users, 1))
     if model.config.cell_type == "lstm":
         return RecurrentServingParams(
             cell_type="lstm", input_table=input_table,
@@ -167,16 +193,12 @@ def _causer_recurrent(model: Causer) -> RecurrentServingParams:
 
 def _gru4rec_recurrent(model: GRU4Rec) -> RecurrentServingParams:
     cell = model.rnn.cell
-    hidden = model.config.hidden_dim
-
-    def init_h(user_id: int) -> np.ndarray:
-        return np.zeros((1, hidden))
-
     return RecurrentServingParams(
         cell_type="gru", input_table=model.item_embedding.weight.data,
         w_ih=cell.w_ih.data, w_hh=cell.w_hh.data,
         b_ih=cell.b_ih.data, b_hh=cell.b_hh.data, bias=None,
-        init_h=init_h, max_history=model.config.max_history,
+        init_h=ZeroInit(hidden=model.config.hidden_dim),
+        max_history=model.config.max_history,
         track_states=False)
 
 
@@ -270,6 +292,24 @@ class CheckpointRegistry:
                     or self._current.generation < generation):
                 self._current = artifacts
         return artifacts
+
+    def adopt(self, artifacts: ServingArtifacts) -> bool:
+        """Install a pre-built bundle at its recorded generation.
+
+        The multi-process attach path: a worker receives artifacts the
+        coordinator already precomputed (and numbered) and publishes them
+        as-is — no rebuild, no retrieval re-index, no generation bump.
+        Returns ``False`` when the registry already holds the same or a
+        newer generation (the never-roll-backwards rule of ``install``).
+        """
+        with self._lock:
+            if (self._current is not None
+                    and self._current.generation >= artifacts.generation):
+                return False
+            self._current = artifacts
+            if self._generation < artifacts.generation:
+                self._generation = artifacts.generation
+            return True
 
     def current(self) -> Optional[ServingArtifacts]:
         with self._lock:

@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..data.interactions import EvalSample
+from ..retrieval.towers import as_dense, take_rows
 from .registry import (CausalServingArtifacts, GRUServingArtifacts,
                        ServingArtifacts)
 from .sessions import ScoreView
@@ -60,11 +61,16 @@ def _score_causer(artifacts: CausalServingArtifacts, view: ScoreView,
     pairwise sums (whose bits depend on the reduced length alone), and
     the time contraction is an explicit loop over the ≤ ``max_history``
     steps.  The only matmul, ``states @ Vᵀ``, is candidate-independent.
+
+    Quantized output tables dequantize on the fly (``as_dense`` /
+    ``take_rows``): dequantization is row-independent, so the candidate
+    restriction stays bit-identical to the gathered full pass, and the
+    ``--quantize none`` path is byte-for-byte today's arithmetic.
     """
     catalog = (artifacts.num_items + 1 if candidates is None
                else candidates.shape[0])
-    out_table = (artifacts.output_table if candidates is None
-                 else artifacts.output_table[candidates])
+    out_table = (as_dense(artifacts.output_table) if candidates is None
+                 else take_rows(artifacts.output_table, candidates))
     out_bias = (artifacts.output_bias if candidates is None
                 else artifacts.output_bias[candidates])
     if view.steps == 0 or view.states is None:
@@ -101,11 +107,12 @@ def _score_gru_batch(artifacts: GRUServingArtifacts,
     (:func:`score_view_candidates`) reproduce the full pass exactly.
     """
     hidden = artifacts.recurrent.hidden_size
-    out = np.empty((len(views), artifacts.output_table.shape[0]))
+    out_table = as_dense(artifacts.output_table)
+    out = np.empty((len(views), out_table.shape[0]))
     for row, view in enumerate(views):
         last = (np.zeros((1, hidden)) if view.last is None else view.last)
         rep = last @ artifacts.project_weight.T + artifacts.project_bias
-        out[row] = ((artifacts.output_table * rep[0]).sum(axis=1)
+        out[row] = ((out_table * rep[0]).sum(axis=1)
                     + artifacts.output_bias)
     return out
 
@@ -160,7 +167,8 @@ def score_view_candidates(artifacts: ServingArtifacts, view: ScoreView,
         last = (np.zeros((1, hidden)) if view.last is None
                 else view.last)
         rep = last @ artifacts.project_weight.T + artifacts.project_bias
-        return ((artifacts.output_table[candidates] * rep[0]).sum(axis=1)
+        return ((take_rows(artifacts.output_table, candidates)
+                 * rep[0]).sum(axis=1)
                 + artifacts.output_bias[candidates])
     return _score_replay(artifacts, [view])[0][candidates]
 

@@ -32,6 +32,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..nn.tensor import _stable_sigmoid
+from ..retrieval.towers import take_rows
 
 #: Event cap for sessions accumulated while no checkpoint is loaded
 #: (degraded mode): we cannot know the model's window yet, so keep a
@@ -112,8 +113,13 @@ class RecurrentServingParams:
         return h0, None
 
     def embed_basket(self, basket: Sequence[int]) -> np.ndarray:
-        """Basket-summed input embedding, shape ``(1, d)``."""
-        return self.input_table[list(basket)].sum(axis=0)[None, :]
+        """Basket-summed input embedding, shape ``(1, d)``.
+
+        ``take_rows`` keeps the dense path byte-identical while letting
+        quantized input tables dequantize only the gathered rows.
+        """
+        return take_rows(self.input_table,
+                         list(basket)).sum(axis=0)[None, :]
 
     def step(self, basket: Sequence[int], h: np.ndarray,
              c: Optional[np.ndarray], keep: bool = True

@@ -1,0 +1,115 @@
+"""Multi-process serve fixtures: shm leak guard + bounded clusters.
+
+Everything here is spawn-safe: helper functions that run inside worker
+processes live in importable modules (never closures), and every test
+runs under the ``shm_guard`` finalizer, which force-unlinks any segment
+the test leaked so one failure cannot poison /dev/shm for the rest of
+the suite (and fails the test that leaked).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Causer, CauserConfig
+from repro.models import GRU4Rec, TrainConfig
+from repro.serve import ServeCluster
+from repro.serve.shm import SEGMENT_PREFIX, cleanup_segments, list_segments
+
+#: CI hosts are small; two workers exercise every cross-process code
+#: path (routing, broadcast install, refcounted unlink) without
+#: oversubscribing the runner.
+CI_WORKERS = 2
+
+
+@pytest.fixture(scope="module", autouse=True)
+def shm_guard():
+    """Fail (and clean up) if a module leaks shared-memory segments.
+
+    Module-scoped so module-lifetime fixtures may hold segments across
+    tests; set up before them, finalized after them — by which point
+    /dev/shm must be empty again.  On failure the guard still unlinks
+    everything, so one leak cannot poison later modules.
+    """
+    cleanup_segments(SEGMENT_PREFIX)
+    yield
+    leaked = list_segments(SEGMENT_PREFIX)
+    cleanup_segments(SEGMENT_PREFIX)
+    assert leaked == [], f"tests leaked shm segments: {leaked}"
+
+
+@pytest.fixture(scope="package")
+def mp_causer(tiny_dataset, tiny_split):
+    config = CauserConfig(embedding_dim=8, hidden_dim=8, num_epochs=2,
+                          batch_size=64, num_clusters=4, epsilon=0.2,
+                          eta=0.5, seed=0, max_history=8)
+    model = Causer(tiny_dataset.corpus.num_users, tiny_dataset.num_items,
+                   tiny_dataset.features, config)
+    model.fit(tiny_split.train)
+    return model
+
+
+@pytest.fixture(scope="package")
+def mp_gru4rec(tiny_dataset, tiny_split):
+    config = TrainConfig(embedding_dim=8, hidden_dim=8, num_epochs=1,
+                         batch_size=64, seed=0, max_history=8)
+    model = GRU4Rec(tiny_dataset.corpus.num_users, tiny_dataset.num_items,
+                    config)
+    model.fit(tiny_split.train)
+    return model
+
+
+@pytest.fixture
+def make_cluster():
+    """Factory for started clusters, closed (and leak-checked) on exit."""
+    clusters = []
+
+    def _make(num_workers=CI_WORKERS, **kwargs):
+        kwargs.setdefault("max_wait_ms", 0.5)
+        cluster = ServeCluster(num_workers, **kwargs)
+        clusters.append(cluster)
+        cluster.start()
+        return cluster
+
+    yield _make
+    for cluster in clusters:
+        cluster.close()
+
+
+@pytest.fixture(scope="module")
+def make_module_cluster():
+    """Module-lifetime cluster factory: one spawn cost for many tests."""
+    clusters = []
+
+    def _make(num_workers=CI_WORKERS, **kwargs):
+        kwargs.setdefault("max_wait_ms", 0.5)
+        cluster = ServeCluster(num_workers, **kwargs)
+        clusters.append(cluster)
+        cluster.start()
+        return cluster
+
+    yield _make
+    for cluster in clusters:
+        cluster.close()
+
+
+def wait_generations(cluster, generation, timeout=60.0):
+    """Block until every worker's slab row shows ``generation``."""
+    import time
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        gens = cluster.worker_generations()
+        if gens and all(g >= generation for g in gens):
+            return gens
+        time.sleep(0.05)
+    raise TimeoutError(
+        f"workers never adopted generation {generation}: "
+        f"{cluster.worker_generations()}")
+
+
+def random_histories(seed, num_users, num_steps, num_items):
+    rng = np.random.default_rng(seed)
+    return {int(user): tuple(
+        tuple(int(i) for i in rng.integers(1, num_items + 1,
+                                           size=rng.integers(1, 3)))
+        for _ in range(num_steps))
+        for user in rng.choice(200, size=num_users, replace=False)}

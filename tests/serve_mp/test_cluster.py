@@ -1,0 +1,138 @@
+"""ServeCluster integration: routing, shard invariant, crash recovery.
+
+Uses :class:`InProcessClient` against the coordinator's ``handle`` —
+the router still crosses real process boundaries to reach the workers
+(HTTP over loopback), only the coordinator-side socket is skipped.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import InProcessClient, ServeApp, partition
+
+from .conftest import CI_WORKERS, random_histories, wait_generations
+
+
+def _feed(client, histories):
+    for user, baskets in histories.items():
+        for basket in baskets:
+            status, _ = client.post("/v1/events",
+                                    {"user_id": user, "basket": list(basket)})
+            assert status == 200
+
+
+@pytest.fixture(scope="module")
+def cluster(mp_causer, make_module_cluster):
+    cluster = make_module_cluster()
+    cluster.install(mp_causer)
+    wait_generations(cluster, 1)
+    return cluster
+
+
+@pytest.fixture(scope="module")
+def client(cluster):
+    return InProcessClient(cluster)
+
+
+class TestRouting:
+    def test_recommend_routes_and_scores(self, cluster, client, mp_causer):
+        histories = random_histories(seed=5, num_users=8, num_steps=3,
+                                     num_items=mp_causer.num_items)
+        _feed(client, histories)
+        for user in histories:
+            status, body = client.post("/v1/recommend",
+                                       {"user_id": user, "z": 5})
+            assert status == 200
+            assert body["source"] == "model"
+            assert body["generation"] == 1
+            assert len(body["items"]) == 5
+
+    def test_matches_single_process_byte_identical(self, cluster, client,
+                                                   mp_causer):
+        """quantize='none': the sharded answer == the in-process answer."""
+        app = ServeApp(max_wait_ms=0.5)
+        app.install_model(mp_causer)
+        local = InProcessClient(app)
+        try:
+            histories = random_histories(seed=23, num_users=6, num_steps=3,
+                                         num_items=mp_causer.num_items)
+            _feed(client, histories)
+            _feed(local, histories)
+            for user in histories:
+                payload = {"user_id": user, "z": 7}
+                _, mp_body = client.post("/v1/recommend", dict(payload))
+                _, sp_body = local.post("/v1/recommend", dict(payload))
+                assert mp_body["items"] == sp_body["items"]
+        finally:
+            app.close()
+
+    def test_sessions_land_on_their_hash_shard(self, cluster, client,
+                                               mp_causer):
+        """The partition invariant: user state lives on exactly one worker."""
+        histories = random_histories(seed=41, num_users=12, num_steps=2,
+                                     num_items=mp_causer.num_items)
+        _feed(client, histories)
+        expected = {wid: 0 for wid in range(cluster.num_workers)}
+        for user in histories:
+            expected[partition(user, cluster.num_workers)] += 1
+        for wid in range(cluster.num_workers):
+            stats = cluster.worker_stats(wid)
+            assert stats["sessions"] >= expected[wid]
+
+    def test_validation_errors_stay_on_coordinator(self, client):
+        status, body = client.post("/v1/recommend", {"user_id": "nope"})
+        assert status == 400 and "error" in body
+
+
+class TestObservability:
+    def test_healthz_lists_every_worker(self, cluster, client):
+        status, body = client.get("/healthz")
+        assert status == 200 and body["status"] == "ok"
+        assert body["num_workers"] == CI_WORKERS
+        assert [w["worker"] for w in body["workers"]] \
+            == list(range(CI_WORKERS))
+        assert all(w["alive"] and w["generation"] == 1
+                   for w in body["workers"])
+
+    def test_merged_metrics_exposition(self, cluster, client):
+        status, text = client.get("/metrics")
+        assert status == 200
+        for wid in range(CI_WORKERS):
+            assert f'serve_worker_up{{worker="{wid}"}} 1' in text
+            assert f'serve_worker_generation{{worker="{wid}"}} 1' in text
+        assert "serve_mp_requests_total" in text
+        assert "serve_mp_recommend_latency_seconds" in text
+
+    def test_worker_generations_from_slab(self, cluster):
+        assert cluster.worker_generations() == [1] * CI_WORKERS
+
+
+class TestCrashRecovery:
+    def test_killed_worker_is_replaced_and_reinstalled(self, cluster,
+                                                       client, mp_causer):
+        victim_id = 0
+        old_pid = cluster.worker_stats(victim_id)["pid"]
+        os.kill(old_pid, signal.SIGKILL)
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            stats = cluster.worker_stats(victim_id, timeout=5)
+            if stats and stats["pid"] != old_pid \
+                    and stats["generation"] == 1:
+                break
+            time.sleep(0.2)
+        else:
+            pytest.fail("killed worker was not replaced in time")
+        # The replacement serves its shard again (session state is gone —
+        # process-local by design — but routing and scoring work).
+        user = next(u for u in range(64)
+                    if partition(u, cluster.num_workers) == victim_id)
+        status, body = client.post(
+            "/v1/events", {"user_id": user, "basket": [1, 2]})
+        assert status == 200
+        status, body = client.post("/v1/recommend", {"user_id": user, "z": 5})
+        assert status == 200 and body["source"] == "model"
+        assert cluster.exit_codes[victim_id] == -signal.SIGKILL

@@ -1,0 +1,119 @@
+"""Quantized frozen-table contracts: memory wins and ranking tolerances.
+
+The documented guarantees (docs/SERVING.md):
+
+* ``none``  — byte-identical scores to the dense in-process bundle,
+* ``fp16``  — >= 1.9x smaller tables, top-z overlap >= 0.99,
+* ``int8``  — >= 3.5x smaller tables, top-z overlap >= 0.9,
+
+all measured through the same publish → attach path the workers use
+(in-process attach here; the spawn boundary is covered by
+test_shm_roundtrip, and the arithmetic is identical either way).
+"""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.retrieval import RetrievalConfig
+from repro.serve import (SessionStore, build_artifacts, publish_artifacts,
+                         score_views)
+from repro.serve.shm import AttachedArtifacts, quantize_artifacts
+
+HISTORIES = {
+    user: ((2 + user % 5,), (5, 7), (1 + user % 11,))
+    for user in range(24)
+}
+
+
+def _scores(artifacts):
+    store = SessionStore(capacity=64)
+    views = [store.ephemeral_view(user, history, artifacts)
+             for user, history in HISTORIES.items()]
+    return score_views(artifacts, views)
+
+
+def _topz_overlap(dense, quantized, z=5):
+    """Mean |top-z(dense) ∩ top-z(quantized)| / z across sessions."""
+    overlaps = []
+    for row_d, row_q in zip(dense, quantized):
+        top_d = set(np.argsort(-row_d, kind="stable")[:z])
+        top_q = set(np.argsort(-row_q, kind="stable")[:z])
+        overlaps.append(len(top_d & top_q) / z)
+    return float(np.mean(overlaps))
+
+
+@pytest.fixture(scope="module")
+def dense_artifacts(mp_causer):
+    return build_artifacts(
+        mp_causer, generation=1,
+        retrieval=RetrievalConfig(mode="ivf", shortlist=16, nprobe=2))
+
+
+@pytest.fixture(scope="module")
+def dense_scores(dense_artifacts):
+    return _scores(dense_artifacts)
+
+
+def _publish_attach(artifacts, mode, request):
+    checkpoint = publish_artifacts(artifacts, quantize=mode)
+
+    def _cleanup():
+        gc.collect()
+        attached.detach()
+        checkpoint.unlink()
+        checkpoint.close()
+    request.addfinalizer(_cleanup)
+    attached = AttachedArtifacts(checkpoint.name)
+    return checkpoint, attached
+
+
+def test_none_is_byte_identical(dense_artifacts, dense_scores, request):
+    checkpoint, attached = _publish_attach(dense_artifacts, "none", request)
+    assert checkpoint.table_bytes == checkpoint.table_bytes_dense
+    scores = _scores(attached.artifacts)
+    assert scores.dtype == dense_scores.dtype
+    assert np.array_equal(scores, dense_scores)
+
+
+def test_fp16_memory_and_overlap(dense_artifacts, dense_scores, request):
+    checkpoint, attached = _publish_attach(dense_artifacts, "fp16", request)
+    ratio = checkpoint.table_bytes_dense / checkpoint.table_bytes
+    assert ratio >= 1.9, f"fp16 table shrink only {ratio:.2f}x"
+    overlap = _topz_overlap(dense_scores, _scores(attached.artifacts))
+    assert overlap >= 0.99, f"fp16 top-5 overlap {overlap:.3f}"
+
+
+def test_int8_memory_and_overlap(dense_artifacts, dense_scores, request):
+    checkpoint, attached = _publish_attach(dense_artifacts, "int8", request)
+    ratio = checkpoint.table_bytes_dense / checkpoint.table_bytes
+    # Per-row fp64 scale+offset cost 16 bytes, so the shrink is
+    # 8d/(d+16): ~2.67x at the test's d=8, asymptoting to 8x for
+    # production-sized rows.
+    dim = dense_artifacts.output_table.shape[1]
+    bound = 0.95 * (8 * dim) / (dim + 16)
+    assert ratio >= bound, f"int8 table shrink only {ratio:.2f}x"
+    overlap = _topz_overlap(dense_scores, _scores(attached.artifacts))
+    assert overlap >= 0.9, f"int8 top-5 overlap {overlap:.3f}"
+
+
+def test_quantized_candidate_scores_match_full_pass(dense_artifacts):
+    """Gather-then-dequantize == dequantize-then-gather, bit for bit.
+
+    This is the contract that keeps IVF re-rank scores consistent with
+    the full-catalog pass under quantization (row-independent op order).
+    """
+    from repro.serve import score_view_candidates
+    quantized = quantize_artifacts(dense_artifacts, "int8")
+    store = SessionStore(capacity=8)
+    view = store.ephemeral_view(3, HISTORIES[3], quantized)
+    full = score_views(quantized, [view])[0]
+    candidates = np.array([1, 5, 9, 17, 30])
+    restricted = score_view_candidates(quantized, view, candidates)
+    assert np.array_equal(restricted, full[candidates])
+
+
+def test_invalid_mode_rejected(dense_artifacts):
+    with pytest.raises(ValueError):
+        quantize_artifacts(dense_artifacts, "fp8")
