@@ -27,6 +27,16 @@ automatically, and the pair documents the no-regression floor; at V=100k
 the dense path's ``O(V*d)`` scatter + state sweep dominates and the pair
 shows the headline speedup.
 
+The ``online`` suite measures the continual-learning path
+(:mod:`repro.online`) end to end on the same small trained Causer the
+serve benches use: sustained ``/v1/events`` ingestion through the
+request → session → log tee → trainer micro-batch pipeline, the wall
+time of one refresh cycle (warm-started Algorithm 1 on the sliding
+window, drift measurement, hot swap through the registry), and a
+recommend-latency pair with the background trainer on vs off whose p99
+ratio bounds what continual learning costs the request path (recorded
+in ``BENCH_online.json``).
+
 The ``retrieval`` suite measures the two-tower ANN candidate-generation
 path (:mod:`repro.retrieval`) on synthetic normalized item towers at
 V ∈ {10k, 100k, 1M}: each scale is an exact/IVF pair where ``exact``
@@ -760,6 +770,162 @@ SERVE_SUITE: Dict[str, Tuple[BenchFactory, int, Dict[str, object]]] = {
 
 
 # ----------------------------------------------------------------------
+# `online` suite — continual learning from the event stream (repro.online)
+# ----------------------------------------------------------------------
+
+ONLINE_BATCH_EVENTS = 32
+
+
+def _online_stack(quick: bool, lr: float = 0.05):
+    """App + tee'd memory log + trainer over a small trained Causer.
+
+    Untimed setup shared by the online benches; returns everything plus a
+    teardown closure the workloads attach as ``workload.close``.
+    """
+    import copy as _copy
+
+    from ..online import EventLog, OnlineTrainer
+    from ..serve import InProcessClient, ServeApp
+    model = _serve_model(quick)
+    app = ServeApp(max_wait_ms=0.0)
+    app.install_model(model)
+    client = InProcessClient(app)
+    log = EventLog(None)
+    app.event_sink = log.append
+    trainer = OnlineTrainer(_copy.deepcopy(model), log, lr=lr,
+                            batch_events=ONLINE_BATCH_EVENTS)
+
+    def close() -> None:
+        trainer.stop()
+        app.close()
+        log.close()
+
+    return model, app, client, log, trainer, close
+
+
+def make_online_events(quick: bool):
+    """Sustained event ingestion through the full online path.
+
+    Each run posts a fixed burst of ``/v1/events`` (request validation →
+    session append → log tee) and then drains every complete micro-batch
+    through the trainer — the end-to-end cost of keeping the shadow
+    model caught up with the stream.  ``suite_summary`` divides the
+    burst size by the mean run time into the headline events/sec.
+    """
+    model, _app, client, _log, trainer, close = _online_stack(quick)
+    count = 128 if quick else 512
+    rng = np.random.default_rng(31)
+    baskets = [[int(i) for i in rng.integers(1, model.num_items + 1,
+                                             size=2)]
+               for _ in range(count)]
+
+    def workload() -> float:
+        total = 0
+        for k, basket in enumerate(baskets):
+            status, body = client.post(
+                "/v1/events", {"user_id": k % 24, "basket": basket})
+            assert status == 200
+            total += body["session_length"]
+        trainer.pump()
+        return float(total)
+
+    workload.close = close
+    return workload, {"events_per_run": count,
+                      "batch_events": ONLINE_BATCH_EVENTS}
+
+
+def make_online_refresh(quick: bool):
+    """Wall time of one full refresh cycle on a warm window.
+
+    Deep-copy the shadow, warm-start Algorithm 1 for one epoch on the
+    sliding window, measure drift, publish through the registry, hand
+    the trainer a fresh copy — the whole hot-swap pipeline, timed.
+    """
+    from ..online import RefreshController
+    model, app, client, log, trainer, close = _online_stack(quick)
+    window = 192 if quick else 512
+    rng = np.random.default_rng(37)
+    for k in range(window):
+        status, _body = client.post(
+            "/v1/events",
+            {"user_id": k % 24,
+             "basket": [int(i) for i in
+                        rng.integers(1, model.num_items + 1, size=2)]})
+        assert status == 200
+    trainer.pump()
+    refresh = RefreshController(trainer, log, app.install_model,
+                                window=window, refresh_epochs=1,
+                                baseline=model)
+
+    def workload() -> float:
+        assert refresh.refresh_once()
+        return float(refresh.generations)
+
+    workload.close = close
+    return workload, {"window": window, "refresh_epochs": 1}
+
+
+def make_online_recommend(trainer_on: bool, quick: bool):
+    """p99 recommend latency with the background trainer on vs off.
+
+    Both variants interleave event posts with recommends; the ``on``
+    variant additionally runs the trainer's pump loop on its background
+    thread, so the pair isolates what continual learning costs the
+    request path (the trainer holds no serving locks — the overhead is
+    pure CPU contention).  Per-run p99 lands in the bench meta.
+    """
+    import time as _time
+    model, _app, client, _log, trainer, close = _online_stack(
+        quick, lr=0.05 if trainer_on else 0.0)
+    if trainer_on:
+        trainer.poll_interval = 0.001
+        trainer.start()
+    requests = 64 if quick else 200
+    rng = np.random.default_rng(41)
+    baskets = [[int(i) for i in rng.integers(1, model.num_items + 1,
+                                             size=2)]
+               for _ in range(requests)]
+    latency: Dict[str, object] = {}
+
+    def workload() -> float:
+        samples = []
+        for k, basket in enumerate(baskets):
+            status, _body = client.post(
+                "/v1/events", {"user_id": k % 24, "basket": basket})
+            assert status == 200
+            began = _time.perf_counter()
+            status, body = client.post("/v1/recommend",
+                                       {"user_id": k % 24, "z": 10})
+            samples.append(_time.perf_counter() - began)
+            assert status == 200, body
+        latency["p99_ms"] = round(
+            float(np.percentile(samples, 99)) * 1e3, 3)
+        latency["p50_ms"] = round(
+            float(np.percentile(samples, 50)) * 1e3, 3)
+        return float(len(samples))
+
+    workload.close = close
+    return workload, {"trainer": "on" if trainer_on else "off",
+                      "requests": requests, "latency": latency}
+
+
+ONLINE_SUITE: Dict[str, Tuple[BenchFactory, int, Dict[str, object]]] = {
+    "events_sustained": (
+        make_online_events, 3,
+        {"endpoint": "/v1/events", "headline": True}),
+    "refresh_walltime": (
+        make_online_refresh, 3,
+        {"kind": "refresh-cycle"}),
+    "recommend_p99_trainer_on": (
+        lambda quick: make_online_recommend(True, quick), 2,
+        {"endpoint": "/v1/recommend"}),
+    "recommend_p99_trainer_off": (
+        lambda quick: make_online_recommend(False, quick), 2,
+        {"endpoint": "/v1/recommend"}),
+}
+
+
+# ----------------------------------------------------------------------
 # `retrieval` suite — two-tower ANN candidate generation (repro.retrieval)
 # ----------------------------------------------------------------------
 
@@ -932,7 +1098,40 @@ def suite_summary(suite: str,
     catalog scale (exact mean / ivf mean) plus the shortlist recalls the
     IVF factories measured at setup — the acceptance numbers for the
     two-stage candidate pipeline.
+
+    For the ``online`` suite: sustained events/sec through the tee +
+    trainer path, the refresh-cycle wall time, and the p99 recommend
+    latency with the background trainer on vs off (the trainer-overhead
+    ratio is the acceptance number — the trainer holds no serving locks,
+    so the ratio isolates CPU contention).
     """
+    if suite == "online":
+        by_name = {result.name: result for result in results}
+        summary: Dict[str, object] = {}
+        events = by_name.get("events_sustained")
+        if events is not None and events.mean_s > 0:
+            summary["events_per_s"] = round(
+                events.meta["events_per_run"] / events.mean_s, 1)
+        cycle = by_name.get("refresh_walltime")
+        if cycle is not None:
+            summary["refresh_wall_s"] = round(cycle.mean_s, 4)
+
+        def p99(name: str) -> Optional[float]:
+            result = by_name.get(name)
+            if result is None:
+                return None
+            value = result.meta.get("latency", {}).get("p99_ms")
+            return float(value) if value else None
+
+        on, off = p99("recommend_p99_trainer_on"), \
+            p99("recommend_p99_trainer_off")
+        if on is not None:
+            summary["recommend_p99_ms_trainer_on"] = on
+        if off is not None:
+            summary["recommend_p99_ms_trainer_off"] = off
+        if on and off:
+            summary["trainer_overhead_p99"] = round(on / off, 3)
+        return summary
     if suite == "optim":
         by_name = {result.name: result for result in results}
         speedups: Dict[str, float] = {}
@@ -1042,6 +1241,7 @@ ENGINE_SUITE: Dict[str, Tuple[BenchFactory, int, Dict[str, object]]] = {
 
 SUITES: Dict[str, Dict[str, Tuple[BenchFactory, int, Dict[str, object]]]] = {
     "engine": ENGINE_SUITE,
+    "online": ONLINE_SUITE,
     "optim": OPTIM_SUITE,
     "parallel": PARALLEL_SUITE,
     "retrieval": RETRIEVAL_SUITE,

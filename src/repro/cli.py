@@ -118,6 +118,40 @@ def build_parser() -> argparse.ArgumentParser:
                              "(top-z overlap >= 0.99), 'int8' quarters it "
                              "with per-row scale/offset (see "
                              "docs/SERVING.md for tolerances)")
+    parser.add_argument("--online", action="store_true",
+                        help="(serve) enable continual learning: tee "
+                             "/v1/events into an append-only log, train a "
+                             "shadow model in the background, and (with "
+                             "--refresh-every) periodically re-derive the "
+                             "causal artifacts and hot swap them in "
+                             "(see docs/ONLINE.md); requires --checkpoint")
+    parser.add_argument("--online-lr", type=float, default=0.01,
+                        help="(serve --online) learning rate for the "
+                             "shadow trainer's sparse embedding updates; "
+                             "0 disables updates entirely (serving stays "
+                             "bit-identical to the frozen checkpoint)")
+    parser.add_argument("--online-optimizer", default="adagrad",
+                        choices=["sgd", "adagrad", "adam", "sparseadam"],
+                        help="(serve --online) optimizer for shadow updates")
+    parser.add_argument("--online-batch-events", type=int, default=32,
+                        help="(serve --online) events per training "
+                             "micro-batch; batches are applied exactly "
+                             "once at fixed log offsets")
+    parser.add_argument("--refresh-every", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="(serve --online) re-derive causal artifacts "
+                             "on a sliding window and hot swap them in "
+                             "every SECONDS; 0 disables refresh")
+    parser.add_argument("--window", type=int, default=2048,
+                        help="(serve --online) sliding-window size (events) "
+                             "each refresh re-derives from")
+    parser.add_argument("--refresh-epochs", type=int, default=1,
+                        help="(serve --online) warm-started Algorithm-1 "
+                             "epochs per refresh")
+    parser.add_argument("--event-log", metavar="DIR", default=None,
+                        help="(serve --online) directory for the durable "
+                             "replayable event log; omit for a memory-only "
+                             "log (no offline replay)")
     parser.add_argument("--detect-anomaly", action="store_true",
                         help="run with the autograd anomaly sanitizer: "
                              "NaN/Inf forward values and gradients abort "
@@ -270,9 +304,53 @@ def _run_eval(args: argparse.Namespace, settings: "BenchmarkSettings") -> int:
     return 0
 
 
+def _build_online_stack(args: argparse.Namespace, publish, metrics):
+    """Assemble log → trainer → refresh for ``serve --online``.
+
+    Returns ``(log, trainer, refresh, close)``: the log's ``append`` is
+    the serving tee, the trainer runs on a daemon thread, and ``close``
+    tears all three down in dependency order.  ``refresh`` is ``None``
+    when ``--refresh-every 0``.
+    """
+    from .io import load_model
+    from .online import EventLog, OnlineTrainer, RefreshController
+    log = EventLog(args.event_log)
+    shadow = load_model(args.checkpoint, mmap=False)
+    trainer = OnlineTrainer(
+        shadow, log, lr=args.online_lr, optimizer=args.online_optimizer,
+        batch_events=args.online_batch_events, metrics=metrics)
+    trainer.start()
+    refresh = None
+    if args.refresh_every > 0:
+        baseline = load_model(args.checkpoint, mmap=False)
+        refresh = RefreshController(
+            trainer, log, publish, window=args.window,
+            refresh_epochs=args.refresh_epochs, baseline=baseline,
+            interval=args.refresh_every, metrics=metrics)
+        refresh.start()
+    print(f"online learning enabled: lr={args.online_lr} "
+          f"optimizer={args.online_optimizer} "
+          f"batch={args.online_batch_events} events  "
+          f"log={'memory-only' if args.event_log is None else args.event_log}"
+          f"  refresh="
+          f"{'off' if refresh is None else f'every {args.refresh_every}s'}")
+
+    def close() -> None:
+        if refresh is not None:
+            refresh.stop()
+        trainer.stop()
+        log.close()
+
+    return log, trainer, refresh, close
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     """Run the HTTP serving layer (see :mod:`repro.serve`)."""
     from .serve import ServeApp, ServeServer
+    if args.online and not args.checkpoint:
+        print("--online requires --checkpoint: the shadow trainer needs "
+              "a model to start from")
+        return 2
     retrieval = None
     if args.retrieval is not None:
         from .retrieval import RetrievalConfig
@@ -334,6 +412,11 @@ def _serve_loop(args: argparse.Namespace, app) -> int:
     else:
         print("no --checkpoint given: serving degraded "
               "(popularity fallback) until one is installed")
+    online_close = None
+    if args.online:
+        log, _trainer, _refresh, online_close = _build_online_stack(
+            args, publish=app.install_model, metrics=app.metrics)
+        app.event_sink = log.append
     server = ServeServer(app, host=args.host, port=args.port)
     host, port = server.address
     print(f"serving on http://{host}:{port}  "
@@ -345,6 +428,8 @@ def _serve_loop(args: argparse.Namespace, app) -> int:
         pass
     finally:
         server.shutdown()
+        if online_close is not None:
+            online_close()
     return 0
 
 
@@ -379,6 +464,14 @@ def _serve_mp(args: argparse.Namespace, retrieval) -> int:
         else:
             print("no --checkpoint given: serving degraded "
                   "(popularity fallback) until one is installed")
+        online_close = None
+        if args.online:
+            # One coordinator-side log covers the whole fleet; refresh
+            # publishes through cluster.install, which broadcasts the
+            # new generation to every worker via shared memory.
+            log, _trainer, _refresh, online_close = _build_online_stack(
+                args, publish=cluster.install, metrics=cluster.metrics)
+            cluster.event_sink = log.append
         server = ServeServer(cluster, host=args.host, port=args.port)
         host, port = server.address
         print(f"serving on http://{host}:{port} with {args.workers} "
@@ -391,6 +484,8 @@ def _serve_mp(args: argparse.Namespace, retrieval) -> int:
             pass
         finally:
             server.shutdown()
+            if online_close is not None:
+                online_close()
     finally:
         exit_codes = cluster.close()
     bad = {wid: code for wid, code in exit_codes.items() if code}

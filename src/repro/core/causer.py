@@ -419,18 +419,30 @@ class Causer(NeuralSequentialRecommender):
         # pass has run yet, so no backward closure can hold a stale reference.
         self.graph.weights.data[...] = seed
 
-    def fit_samples(self, samples: Sequence[EvalSample]) -> FitResult:
+    def fit_samples(self, samples: Sequence[EvalSample],
+                    warm_start: bool = False,
+                    num_epochs: Optional[int] = None) -> FitResult:
         """Algorithm 1: alternating updates with augmented-Lagrangian state.
 
         The recommender parameters step every epoch; the causal parameters
         (``Θ_a`` and ``W^c``) step only on epochs divisible by
         ``update_every`` — the paper's §III-C efficiency device.
+
+        ``warm_start=True`` continues Algorithm 1 from the current
+        parameters instead of re-seeding ``W^c`` from transition lift: the
+        learned graph, the multipliers (``beta1``/``beta2``) and the
+        ``h``-stall tracker all carry over, which is what the online
+        refresh loop needs — re-derive the causal artifacts on a sliding
+        window of fresh events without forgetting the converged state.
+        ``num_epochs`` overrides ``config.num_epochs`` for this call only
+        (refresh runs a few epochs per window, not a full training run).
         """
         if not samples:
             raise ValueError(f"{self.name}: no training samples")
         cfg = self.config
+        epochs = cfg.num_epochs if num_epochs is None else num_epochs
         self.set_sparse_grads(cfg.sparse_grads)
-        if cfg.pretrain_graph and cfg.use_causal:
+        if cfg.pretrain_graph and cfg.use_causal and not warm_start:
             self._seed_graph(samples)
         causal_params = list(self.clusters.parameters()) + list(
             self.graph.parameters())
@@ -447,7 +459,7 @@ class Causer(NeuralSequentialRecommender):
         num_batches = max(1, int(np.ceil(len(samples) / cfg.batch_size)))
         self._penalty_scale = 1.0 / num_batches
         self.train()
-        for epoch in range(cfg.num_epochs):
+        for epoch in range(epochs):
             update_causal = (epoch % cfg.update_every) == 0
             total, count = 0.0, 0
             for batch_index, batch in enumerate(
@@ -484,7 +496,7 @@ class Causer(NeuralSequentialRecommender):
             result.extra["h"].append(h_new)
             result.extra["beta2"].append(self.beta2)
             if cfg.verbose:
-                print(f"[{self.name}] epoch {epoch + 1}/{cfg.num_epochs} "
+                print(f"[{self.name}] epoch {epoch + 1}/{epochs} "
                       f"loss={mean_loss:.4f} h={h_new:.2e} beta2={self.beta2:.2g}")
         self.eval()
         return result

@@ -1,0 +1,33 @@
+"""repro.online — continual learning from the serving event stream.
+
+Serving tees every ``/v1/events`` hit into an append-only
+:class:`~repro.online.log.EventLog`; an
+:class:`~repro.online.trainer.OnlineTrainer` folds the stream into a
+shadow model with deterministic, exactly-once micro-batches; a
+:class:`~repro.online.refresh.RefreshController` periodically
+re-derives the frozen causal artifacts on a sliding window, measures
+drift (:mod:`repro.online.drift`), and hot swaps the result into the
+live registry.  ``python -m repro.online replay`` re-runs the trainer
+offline from a log for bit-reproducible debugging.
+
+See ``docs/ONLINE.md`` for the full architecture and determinism
+contract.
+"""
+
+from .drift import DriftReport, edge_churn, score_divergence
+from .log import EventLog, EventRecord
+from .refresh import RefreshController, build_refresh_samples
+from .trainer import ONLINE_PARAM_TOKENS, OnlineTrainer, select_online_params
+
+__all__ = [
+    "DriftReport",
+    "edge_churn",
+    "score_divergence",
+    "EventLog",
+    "EventRecord",
+    "RefreshController",
+    "build_refresh_samples",
+    "ONLINE_PARAM_TOKENS",
+    "OnlineTrainer",
+    "select_online_params",
+]

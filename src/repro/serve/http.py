@@ -94,7 +94,13 @@ class ServeApp:
                  session_capacity: int = 10_000,
                  max_batch_size: int = 32, max_wait_ms: float = 2.0,
                  default_z: int = 5,
-                 retrieval: Optional[RetrievalConfig] = None) -> None:
+                 retrieval: Optional[RetrievalConfig] = None,
+                 event_sink=None) -> None:
+        #: Optional ``callable(user_id, basket)`` invoked after every
+        #: accepted ``/v1/events`` request — the tee into the append-only
+        #: event log that online training replays (see repro.online.log).
+        #: Sink errors are counted, never surfaced to the client.
+        self.event_sink = event_sink
         self.retrieval = retrieval
         if registry is None:
             registry = CheckpointRegistry(retrieval=retrieval)
@@ -104,7 +110,8 @@ class ServeApp:
             registry.retrieval = retrieval
         self.registry = registry
         self.metrics = metrics or MetricsRegistry()
-        self.sessions = SessionStore(capacity=session_capacity)
+        self.sessions = SessionStore(capacity=session_capacity,
+                                     metrics=self.metrics)
         self.default_z = default_z
         self.batcher = MicroBatcher(self._score_many,
                                     max_batch_size=max_batch_size,
@@ -273,6 +280,11 @@ class ServeApp:
         session = self.sessions.append_event(user_id, basket, artifacts)
         self._count_event(basket)
         self.metrics.inc("serve_events_total")
+        if self.event_sink is not None:
+            try:
+                self.event_sink(user_id, basket)
+            except Exception:  # noqa: BLE001 — the stream must not 500
+                self.metrics.inc("serve_event_sink_errors_total")
         return {"user_id": user_id,
                 "session_length": len(session.events)}
 

@@ -1,11 +1,12 @@
-"""Serving observability: thread-safe counters and latency histograms.
+"""Serving observability: thread-safe counters, gauges and histograms.
 
 A single :class:`MetricsRegistry` instance backs the whole serving stack.
-Counters are monotonically increasing floats; histograms keep a bounded
-ring buffer of recent observations (enough for stable p50/p95/p99) plus
-exact running ``count``/``sum``.  :meth:`MetricsRegistry.render` exports
-everything in the Prometheus text exposition format, which is what the
-``/metrics`` endpoint returns.
+Counters are monotonically increasing floats; gauges are last-write-wins
+floats (update lag, drift scores — anything that can move both ways);
+histograms keep a bounded ring buffer of recent observations (enough for
+stable p50/p95/p99) plus exact running ``count``/``sum``.
+:meth:`MetricsRegistry.render` exports everything in the Prometheus text
+exposition format, which is what the ``/metrics`` endpoint returns.
 
 Everything here is stdlib + numpy; one registry lock serializes updates
 (observations are tiny — a dict lookup and an array write — so a single
@@ -67,9 +68,11 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._window = window
         self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, _Histogram] = {}
         # Base-name ordering for rendering (# TYPE headers appear once).
         self._counter_names: Dict[str, None] = {}
+        self._gauge_names: Dict[str, None] = {}
         self._histogram_names: Dict[str, None] = {}
 
     # -- updates ---------------------------------------------------------
@@ -78,6 +81,14 @@ class MetricsRegistry:
         with self._lock:
             self._counter_names.setdefault(name)
             self._counters[key] = self._counters.get(key, 0.0) + by
+
+    def set_gauge(self, name: str, value: float,
+                  labels: Labels = None) -> None:
+        """Last-write-wins gauge (drift scores, update lag, window sizes)."""
+        key = _series_key(name, labels)
+        with self._lock:
+            self._gauge_names.setdefault(name)
+            self._gauges[key] = float(value)
 
     def observe(self, name: str, value: float, labels: Labels = None) -> None:
         key = _series_key(name, labels)
@@ -92,6 +103,11 @@ class MetricsRegistry:
     def counter_value(self, name: str, labels: Labels = None) -> float:
         with self._lock:
             return self._counters.get(_series_key(name, labels), 0.0)
+
+    def gauge_value(self, name: str, labels: Labels = None,
+                    default: float = 0.0) -> float:
+        with self._lock:
+            return self._gauges.get(_series_key(name, labels), default)
 
     def percentile(self, name: str, q: float, labels: Labels = None) -> float:
         with self._lock:
@@ -110,12 +126,17 @@ class MetricsRegistry:
 
     # -- export ----------------------------------------------------------
     def render(self) -> str:
-        """Prometheus text format: counters, then histogram summaries."""
+        """Prometheus text: counters, gauges, then histogram summaries."""
         with self._lock:
             lines = []
             for name in self._counter_names:
                 lines.append(f"# TYPE {name} counter")
                 for key, value in sorted(self._counters.items()):
+                    if key == name or key.startswith(name + "{"):
+                        lines.append(f"{key} {value:g}")
+            for name in self._gauge_names:
+                lines.append(f"# TYPE {name} gauge")
+                for key, value in sorted(self._gauges.items()):
                     if key == name or key.startswith(name + "{"):
                         lines.append(f"{key} {value:g}")
             for name in self._histogram_names:

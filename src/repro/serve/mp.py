@@ -316,7 +316,7 @@ class ServeCluster:
                  session_capacity: int = 10_000, max_batch_size: int = 32,
                  max_wait_ms: float = 2.0, default_z: int = 5,
                  host: str = "127.0.0.1", thread_sanitizer: bool = False,
-                 ready_timeout: float = 120.0) -> None:
+                 ready_timeout: float = 120.0, event_sink=None) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if quantize not in QUANTIZE_MODES:
@@ -324,6 +324,11 @@ class ServeCluster:
                              f"got {quantize!r}")
         self.num_workers = num_workers
         self.quantize = quantize
+        #: Optional ``callable(user_id, basket)`` invoked on the
+        #: coordinator for every event a worker accepted (status 200) —
+        #: the multi-process tee into the online event log, so one log
+        #: covers the whole fleet regardless of shard ownership.
+        self.event_sink = event_sink
         self.host = host
         self.thread_sanitizer = thread_sanitizer
         self.ready_timeout = ready_timeout
@@ -551,7 +556,18 @@ class ServeCluster:
                 raise ServeError(400, "request body must be a JSON object")
             worker_id = partition(_require_int(payload, "user_id"),
                                   self.num_workers)
-            return self._forward(worker_id, method, path, payload)
+            status, parsed, ctype = self._forward(worker_id, method, path,
+                                                  payload)
+            if (path == "/v1/events" and status == 200
+                    and self.event_sink is not None):
+                # The owning worker validated and applied the event; only
+                # accepted events reach the log (mirrors ServeApp._events).
+                try:
+                    self.event_sink(payload["user_id"],
+                                    tuple(payload["basket"]))
+                except Exception:  # noqa: BLE001 — the stream must not 500
+                    self.metrics.inc("serve_event_sink_errors_total")
+            return status, parsed, ctype
         except ServeError as exc:
             self.metrics.inc("serve_router_errors_total",
                              {"endpoint": path})

@@ -207,12 +207,20 @@ class SessionState:
 
 
 class SessionStore:
-    """Thread-safe LRU map ``user_id -> SessionState``."""
+    """Thread-safe LRU map ``user_id -> SessionState``.
 
-    def __init__(self, capacity: int = 10_000) -> None:
+    Evictions are counted (``evictions`` attribute and, when a metrics
+    registry is attached, the ``serve_sessions_evicted_total`` counter) —
+    an evicted user's recurrent state silently restarts from scratch on
+    their next event, which downstream consumers (the online trainer's
+    resync logic, capacity dashboards) need to see rather than infer.
+    """
+
+    def __init__(self, capacity: int = 10_000, metrics=None) -> None:
         if capacity < 1:
             raise ValueError("session store capacity must be positive")
         self.capacity = capacity
+        self.metrics = metrics
         self._lock = threading.RLock()
         self._sessions: "OrderedDict[int, SessionState]" = OrderedDict()
         self.evictions = 0
@@ -246,6 +254,7 @@ class SessionStore:
     def append_event(self, user_id: int, basket: Sequence[int],
                      artifacts=None) -> SessionState:
         """Record one event for ``user_id``, advancing recurrent state."""
+        evicted = False
         with self._lock:
             session = self._sessions.get(user_id)
             if session is None:
@@ -256,13 +265,18 @@ class SessionStore:
                 if len(self._sessions) > self.capacity:
                     self._sessions.popitem(last=False)
                     self.evictions += 1
+                    evicted = True
             else:
                 self._sync(session, artifacts)
             self._sessions.move_to_end(user_id)
             session.append(
                 basket,
                 None if artifacts is None else artifacts.recurrent)
-            return session
+        # Counted outside the store lock: the metrics registry has its own
+        # lock and every serving lock stays a leaf in the global order.
+        if evicted and self.metrics is not None:
+            self.metrics.inc("serve_sessions_evicted_total")
+        return session
 
     def view(self, user_id: int, artifacts=None) -> Optional[ScoreView]:
         """Scoring snapshot of a stored session (None when absent)."""

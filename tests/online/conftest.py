@@ -1,0 +1,58 @@
+"""Online-suite fixtures: a shared trained Causer, app/log factories."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core import Causer, CauserConfig
+from repro.serve import InProcessClient, ServeApp
+
+
+@pytest.fixture(scope="package")
+def online_causer(tiny_dataset, tiny_split):
+    """A trained shared-filtering-mode Causer (the online-serving target)."""
+    config = CauserConfig(embedding_dim=8, hidden_dim=8, num_epochs=2,
+                          batch_size=64, num_clusters=4, epsilon=0.2,
+                          eta=0.5, seed=0, max_history=8)
+    model = Causer(tiny_dataset.corpus.num_users, tiny_dataset.num_items,
+                   tiny_dataset.features, config)
+    model.fit(tiny_split.train)
+    return model
+
+
+@pytest.fixture
+def shadow_of():
+    """Private trainable copies of a fixture model (never mutate fixtures)."""
+    return copy.deepcopy
+
+
+@pytest.fixture
+def make_app():
+    """Factory building (ServeApp, InProcessClient) pairs, closed on exit."""
+    apps = []
+
+    def _make(model=None, **kwargs):
+        kwargs.setdefault("max_wait_ms", 0.5)
+        app = ServeApp(**kwargs)
+        if model is not None:
+            app.install_model(model)
+        apps.append(app)
+        return app, InProcessClient(app)
+
+    yield _make
+    for app in apps:
+        app.close()
+
+
+def fill_log(log, count, num_users=20, num_items=40, seed=3, offset=0):
+    """Append ``count`` deterministic events; returns the (user, basket)s."""
+    rng = np.random.default_rng(seed)
+    events = []
+    for _ in range(count):
+        user = offset + int(rng.integers(num_users))
+        basket = tuple(int(i) for i in rng.integers(1, num_items + 1,
+                                                    size=2))
+        log.append(user, basket)
+        events.append((user, basket))
+    return events

@@ -1,0 +1,107 @@
+"""Optimizer-state round-trip: warm restarts continue bit-identically."""
+
+import numpy as np
+import pytest
+
+from repro.io import load_optimizer_state, save_optimizer_state
+from repro.nn.optim import make_optimizer
+from repro.online import EventLog, OnlineTrainer, select_online_params
+from repro.online.__main__ import fingerprint
+
+from .conftest import fill_log
+
+
+def _pumped_trainer(model, log, optimizer, max_batches=None):
+    trainer = OnlineTrainer(model, log, lr=0.05, optimizer=optimizer,
+                            batch_events=16)
+    trainer.pump(max_batches=max_batches)
+    return trainer
+
+
+@pytest.mark.parametrize("optimizer", ["sgd", "adagrad", "adam"])
+def test_state_tables_round_trip_exactly(tmp_path, online_causer, shadow_of,
+                                         optimizer):
+    log = EventLog(None)
+    fill_log(log, 48)
+    trainer = _pumped_trainer(shadow_of(online_causer), log, optimizer)
+    saved = trainer._optimizer
+    path = tmp_path / "opt.npz"
+    save_optimizer_state(saved, path)
+
+    fresh = make_optimizer(optimizer, select_online_params(
+        shadow_of(online_causer)), lr=0.05)
+    load_optimizer_state(fresh, path)
+    assert getattr(fresh, "_t", 0) == getattr(saved, "_t", 0)
+    for slot in ("_velocity", "_m", "_v", "_row_steps", "_accum"):
+        table = getattr(saved, slot, None)
+        if table is None:
+            continue
+        restored = getattr(fresh, slot)
+        assert set(restored) == set(table)
+        for index in table:
+            np.testing.assert_array_equal(restored[index], table[index])
+    log.close()
+
+
+def test_load_rejects_class_and_shape_mismatches(tmp_path, online_causer,
+                                                 shadow_of):
+    log = EventLog(None)
+    fill_log(log, 32)
+    trainer = _pumped_trainer(shadow_of(online_causer), log, "adam")
+    path = tmp_path / "opt.npz"
+    save_optimizer_state(trainer._optimizer, path)
+
+    params = select_online_params(shadow_of(online_causer))
+    wrong_class = make_optimizer("sgd", params, lr=0.05)
+    with pytest.raises(ValueError, match="Adam"):
+        load_optimizer_state(wrong_class, path)
+    wrong_count = make_optimizer("adam", params[:2], lr=0.05)
+    with pytest.raises(ValueError, match="parameters"):
+        load_optimizer_state(wrong_count, path)
+    log.close()
+
+
+@pytest.mark.parametrize("optimizer", ["adagrad", "adam"])
+def test_trainer_restart_is_bitwise_warm(tmp_path, online_causer, shadow_of,
+                                         optimizer):
+    """save_state → restore_state → continue == never having stopped.
+
+    The per-row moments and last-touch steps matter here: a cold-restart
+    optimizer would re-run Adam's decay catch-up from step 0 and diverge.
+    """
+    log = EventLog(None)
+    fill_log(log, 96)
+
+    uninterrupted = _pumped_trainer(shadow_of(online_causer), log, optimizer)
+    assert uninterrupted.consumed_offset == 96
+
+    first_half = _pumped_trainer(shadow_of(online_causer), log, optimizer,
+                                 max_batches=3)
+    assert first_half.consumed_offset == 48
+    state_dir = tmp_path / "trainer-state"
+    first_half.save_state(state_dir)
+
+    resumed = OnlineTrainer(shadow_of(online_causer), log, lr=0.05,
+                            optimizer=optimizer, batch_events=16)
+    resumed.restore_state(state_dir)
+    assert resumed.consumed_offset == 48
+    assert fingerprint(resumed.model) == fingerprint(first_half.model)
+    resumed.pump()
+    assert resumed.consumed_offset == 96
+    assert resumed.steps == uninterrupted.steps
+    assert fingerprint(resumed.model) == fingerprint(uninterrupted.model)
+    log.close()
+
+
+def test_restore_rejects_sheared_batch_size(tmp_path, online_causer,
+                                            shadow_of):
+    log = EventLog(None)
+    fill_log(log, 32)
+    trainer = _pumped_trainer(shadow_of(online_causer), log, "adagrad")
+    state_dir = tmp_path / "trainer-state"
+    trainer.save_state(state_dir)
+    other = OnlineTrainer(shadow_of(online_causer), log, lr=0.05,
+                          batch_events=8)
+    with pytest.raises(ValueError, match="batch_events"):
+        other.restore_state(state_dir)
+    log.close()

@@ -1,0 +1,127 @@
+"""Refresh controller: drift math, sample expansion, publish/adopt cycle."""
+
+import numpy as np
+import pytest
+
+from repro.online import (EventLog, EventRecord, OnlineTrainer,
+                          RefreshController, build_refresh_samples,
+                          edge_churn, score_divergence)
+from repro.serve.metrics import MetricsRegistry
+
+from .conftest import fill_log
+
+
+# -- drift primitives ------------------------------------------------------
+def test_edge_churn_counts_added_dropped_flipped():
+    previous = np.array([[0.0, 0.5, 0.0],
+                         [-0.4, 0.0, 0.1],
+                         [0.0, 0.0, 0.0]])
+    current = np.array([[0.0, 0.5, 0.4],
+                        [0.4, 0.0, 0.1],
+                        [0.0, 0.0, 0.0]])
+    churn = edge_churn(previous, current, epsilon=0.3)
+    # (0,2) crossed up; (1,0) survived but reversed; (0,1) kept;
+    # (1,2) is below the gate on both sides — invisible.
+    assert churn == {"added": 1, "dropped": 0, "flipped": 1, "kept": 1}
+    reverse = edge_churn(current, previous, epsilon=0.3)
+    assert reverse["dropped"] == 1 and reverse["added"] == 0
+
+
+def test_edge_churn_rejects_shape_mismatch():
+    with pytest.raises(ValueError, match="shape"):
+        edge_churn(np.zeros((2, 2)), np.zeros((3, 3)), epsilon=0.1)
+
+
+def test_score_divergence_is_zero_for_identical_models(online_causer,
+                                                       tiny_split):
+    probes = tiny_split.test[:8]
+    report = score_divergence(online_causer, online_causer, probes, z=10)
+    assert report["mean_abs_delta"] == 0.0
+    assert report["topz_overlap"] == 1.0
+
+
+# -- window → samples ------------------------------------------------------
+def test_build_refresh_samples_expands_prefixes():
+    records = [EventRecord(0, 1, (3,)), EventRecord(1, 2, (5,)),
+               EventRecord(2, 1, (4,)), EventRecord(3, 1, (6, 7)),
+               EventRecord(4, 2, ())]
+    samples = build_refresh_samples(records, max_history=2)
+    assert [(s.user_id, s.history, s.target) for s in samples] == [
+        (1, ((3,),), (4,)),
+        (1, ((3,), (4,)), (6, 7)),
+    ]
+    # A long history is windowed to the model's max_history.
+    long = [EventRecord(k, 9, (1 + k,)) for k in range(5)]
+    windowed = build_refresh_samples(long, max_history=2)
+    assert windowed[-1].history == ((3,), (4,))
+
+
+# -- the full cycle --------------------------------------------------------
+def test_refresh_publishes_adopts_and_reports(online_causer, shadow_of,
+                                              tiny_split, make_app):
+    metrics = MetricsRegistry()
+    app, _client = make_app(online_causer)
+    log = EventLog(None)
+    fill_log(log, 128)
+    trainer = OnlineTrainer(shadow_of(online_causer), log, lr=0.05,
+                            batch_events=16)
+    trainer.pump()
+    refresh = RefreshController(trainer, log, app.install_model,
+                                window=128, refresh_epochs=1,
+                                baseline=online_causer,
+                                probes=tiny_split.test[:8],
+                                metrics=metrics)
+    shadow_before = trainer.model
+    assert refresh.refresh_once() is True
+    artifacts = app.registry.current()
+    assert artifacts.generation == 2  # install bumped past the fixture's 1
+    # The trainer continues on a fresh private copy, never the published
+    # model (whose arrays the live artifacts alias).
+    assert trainer.model is not shadow_before
+    report = refresh.last_report
+    for key in ("online_edge_churn_added", "online_edge_churn_dropped",
+                "online_edge_churn_flipped", "online_score_divergence",
+                "online_topz_overlap"):
+        assert key in report
+        assert metrics.gauge_value(key) == report[key]
+    assert metrics.counter_value("online_refresh_total") == 1
+    assert 0.0 <= report["online_topz_overlap"] <= 1.0
+    log.close()
+
+
+def test_refresh_skips_when_window_is_too_thin(online_causer, shadow_of,
+                                               make_app):
+    app, _client = make_app(online_causer)
+    log = EventLog(None)
+    # Distinct users, one event each: zero trainable prefix samples.
+    for user in range(20):
+        log.append(user, (1 + user % 5,))
+    trainer = OnlineTrainer(shadow_of(online_causer), log, lr=0.05)
+    refresh = RefreshController(trainer, log, app.install_model,
+                                window=20, min_samples=1,
+                                baseline=online_causer)
+    assert refresh.refresh_once() is False
+    assert app.registry.current().generation == 1  # nothing published
+    log.close()
+
+
+def test_refreshed_generations_are_monotone(online_causer, shadow_of,
+                                            make_app):
+    app, client = make_app(online_causer)
+    log = EventLog(None)
+    trainer = OnlineTrainer(shadow_of(online_causer), log, lr=0.05,
+                            batch_events=16)
+    refresh = RefreshController(trainer, log, app.install_model,
+                                window=256, refresh_epochs=1,
+                                baseline=online_causer)
+    for round_id in range(3):
+        fill_log(log, 64, seed=50 + round_id)
+        trainer.pump()
+        assert refresh.refresh_once() is True
+    assert app.registry.current().generation == 4
+    assert refresh.generations == 3
+    status, body = client.post("/v1/recommend",
+                               {"user_id": 1, "history": [[1], [2]],
+                                "z": 5})
+    assert status == 200 and body["generation"] == 4
+    log.close()

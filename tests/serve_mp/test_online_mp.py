@@ -1,0 +1,69 @@
+"""Online learning against the sharded multi-process cluster.
+
+One coordinator-side event log covers the whole fleet: the cluster's
+``event_sink`` tees every accepted ``/v1/events`` regardless of which
+worker the request was routed to, the trainer/refresh stack runs in the
+coordinator process, and a refresh publishes through
+``cluster.install`` — which broadcasts the new generation to every
+worker via the shared-memory checkpoint path.  Drift metrics live in
+the coordinator registry, which ``_render_metrics`` appends to the
+cluster's ``/metrics``.
+"""
+
+import copy
+
+from repro.online import EventLog, OnlineTrainer, RefreshController
+from repro.serve import InProcessClient
+
+from .conftest import random_histories, wait_generations
+
+
+def test_online_refresh_broadcasts_and_metrics_render(mp_causer,
+                                                      make_cluster):
+    cluster = make_cluster()
+    cluster.install(mp_causer)
+    wait_generations(cluster, 1)
+    client = InProcessClient(cluster)
+
+    log = EventLog(None)
+    cluster.event_sink = log.append
+    trainer = OnlineTrainer(copy.deepcopy(mp_causer), log, lr=0.05,
+                            batch_events=16, metrics=cluster.metrics)
+    refresh = RefreshController(trainer, log, cluster.install,
+                                window=512, refresh_epochs=1,
+                                min_samples=4, baseline=mp_causer,
+                                metrics=cluster.metrics)
+
+    histories = random_histories(seed=17, num_users=10, num_steps=6,
+                                 num_items=mp_causer.num_items)
+    sent = 0
+    for user, baskets in histories.items():
+        for basket in baskets:
+            status, _body = client.post(
+                "/v1/events", {"user_id": user, "basket": list(basket)})
+            assert status == 200
+            sent += 1
+    # The tee saw every event the fleet accepted, across all shards.
+    assert log.next_offset == sent
+
+    trainer.pump()
+    assert trainer.consumed_offset == (sent // 16) * 16
+    assert refresh.refresh_once() is True
+
+    # Every worker adopted the refreshed generation (2 = install + 1).
+    wait_generations(cluster, 2)
+    for user in list(histories)[:4]:
+        status, body = client.post("/v1/recommend", {"user_id": user,
+                                                     "z": 5})
+        assert status == 200
+        assert body["generation"] == 2
+
+    # Online counters and drift gauges render on the cluster /metrics.
+    status, text = client.get("/metrics")
+    assert status == 200
+    assert "online_events_consumed_total" in text
+    assert "online_refresh_total 1" in text
+    assert "online_edge_churn_added" in text
+    assert "online_score_divergence" in text
+    assert "online_update_lag" in text
+    log.close()
