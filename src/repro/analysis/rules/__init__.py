@@ -13,8 +13,9 @@ from .concurrency import (LOCK_FACTORY_NAMES, LOCK_PROXY_SUFFIXES,
                           MUTATING_METHODS, BareAcquireRule,
                           BlockingCallUnderLockRule, LockOrderInversionRule,
                           ThreadOwnershipRule, UnguardedSharedMutationRule)
-from .hygiene import (SANCTIONED_NP_RANDOM_CALLS, AllDriftRule,
-                      LegacyNumpyRandomRule, SwallowedExceptionRule)
+from .hygiene import (MEMMAP_MATERIALIZERS, SANCTIONED_NP_RANDOM_CALLS,
+                      AllDriftRule, LegacyNumpyRandomRule,
+                      MemmapInflationRule, SwallowedExceptionRule)
 
 
 def all_rules():
@@ -27,6 +28,7 @@ def all_rules():
         SwallowedExceptionRule(),
         AllDriftRule(),
         DenseGradAssumptionRule(),
+        MemmapInflationRule(),
         UnguardedSharedMutationRule(),
         BareAcquireRule(),
         BlockingCallUnderLockRule(),
@@ -40,11 +42,13 @@ __all__ = [
     "MissingUnbroadcastRule", "GraphBypassRule", "InPlaceMutationRule",
     "DenseGradAssumptionRule",
     "LegacyNumpyRandomRule", "SwallowedExceptionRule", "AllDriftRule",
+    "MemmapInflationRule",
     "UnguardedSharedMutationRule", "BareAcquireRule",
     "BlockingCallUnderLockRule", "LockOrderInversionRule",
     "ThreadOwnershipRule",
     "GRAPH_LAYER_SUFFIXES", "SANCTIONED_MUTATION_SUFFIXES",
     "SPARSE_AWARE_SUFFIXES", "SANCTIONED_NP_RANDOM_CALLS",
+    "MEMMAP_MATERIALIZERS",
     "LOCK_FACTORY_NAMES", "LOCK_PROXY_SUFFIXES", "MUTATING_METHODS",
     "all_rules",
 ]

@@ -1,4 +1,4 @@
-"""Reproducibility/hygiene lint rules (GL004–GL006).
+"""Reproducibility/hygiene lint rules (GL004–GL006, GL008).
 
 * GL004 — legacy ``np.random.*`` module-level calls draw from hidden global
   state, which breaks the repo-wide determinism contract (every RNG must be
@@ -7,6 +7,8 @@
   losses, shape errors) this subsystem exists to surface.
 * GL006 — ``__all__`` drift in package ``__init__`` files: names exported
   but never bound, or re-exported names missing from ``__all__``.
+* GL008 — materialising a whole memmapped shard with ``np.asarray`` in
+  :mod:`repro.data`, defeating the event log's bounded-memory contract.
 """
 
 from __future__ import annotations
@@ -20,6 +22,11 @@ from .base import LintContext, Rule, attribute_chain
 #: The only `np.random` attributes that may be *called* — everything else
 #: (seed, rand, randn, RandomState, ...) goes through hidden global state.
 SANCTIONED_NP_RANDOM_CALLS = frozenset({"default_rng", "SeedSequence"})
+
+#: numpy constructors that copy their argument into resident memory —
+#: applied to a full memmap they read the entire shard off disk (GL008).
+MEMMAP_MATERIALIZERS = frozenset({"array", "asarray", "asanyarray",
+                                  "ascontiguousarray"})
 
 
 class LegacyNumpyRandomRule(Rule):
@@ -169,3 +176,80 @@ class AllDriftRule(Rule):
                 if isinstance(el, ast.Constant) and isinstance(el.value, str):
                     names.append(el.value)
         return names
+
+
+class MemmapInflationRule(Rule):
+    """GL008 — ``np.asarray`` (and friends) on a full memmap in repro.data.
+
+    The out-of-core event log hands out ``numpy`` memmaps —
+    ``np.load(..., mmap_mode=...)`` results and ``EventLogStore.column``
+    views.  Wrapping one in ``np.asarray`` / ``np.array`` /
+    ``np.ascontiguousarray`` copies the *entire shard* into resident
+    memory, which is exactly the O(corpus) allocation the eventlog
+    backend exists to avoid (docs/DATA.md).  Slice the memmap first
+    (``col[start:stop]``) so only the touched window is materialised.
+
+    Detection is flow-insensitive within a file: a name is tainted once
+    it is ever bound to a memmap source, and any materialiser call whose
+    first argument is a tainted name (or a memmap source directly) is
+    flagged.  Genuinely intentional full reads take an inline
+    ``# gradlint: disable=GL008`` with a justification.
+    """
+
+    id = "GL008"
+    name = "memmap-inflation"
+    severity = "error"
+    description = ("np.asarray/np.array on a full memmap materialises the "
+                   "whole shard in memory; slice the memmap and convert "
+                   "the window instead")
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return "repro/data/" in ctx.posix_path
+
+    def check_module(self, ctx: LintContext) -> Iterator[Finding]:
+        tainted: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign) and self._is_source(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        tainted.add(target.id)
+            elif (isinstance(node, ast.AnnAssign)
+                    and node.value is not None
+                    and self._is_source(node.value)
+                    and isinstance(node.target, ast.Name)):
+                tainted.add(node.target.id)
+
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and node.args):
+                continue
+            chain = attribute_chain(node.func)
+            parts = chain.split(".")
+            if not (len(parts) == 2 and parts[0] in ("np", "numpy")
+                    and parts[1] in MEMMAP_MATERIALIZERS):
+                continue
+            arg = node.args[0]
+            if self._is_source(arg):
+                yield self.finding(
+                    ctx, node,
+                    f"`{chain}(...)` directly materialises a memmap source; "
+                    f"keep the memmap and convert only sliced windows")
+            elif isinstance(arg, ast.Name) and arg.id in tainted:
+                yield self.finding(
+                    ctx, node,
+                    f"`{chain}({arg.id})` reads the whole memmapped shard "
+                    f"into memory; slice `{arg.id}` first and convert the "
+                    f"window")
+
+    @staticmethod
+    def _is_source(node: ast.AST) -> bool:
+        """True for ``np.load(..., mmap_mode=...)`` or ``*.column(...)``."""
+        if not isinstance(node, ast.Call):
+            return False
+        chain = attribute_chain(node.func)
+        if chain in ("np.load", "numpy.load"):
+            return any(
+                kw.arg == "mmap_mode"
+                and not (isinstance(kw.value, ast.Constant)
+                         and kw.value.value is None)
+                for kw in node.keywords)
+        return isinstance(node.func, ast.Attribute) and node.func.attr == "column"

@@ -8,6 +8,7 @@ Usage::
     python -m repro grid --datasets baby --grid-param epsilon=0.2,0.3
     python -m repro efficiency --quick
     python -m repro train --model "Causer (GRU)" --save-model causer.npz
+    python -m repro train --model GRU4Rec --data-backend eventlog
     python -m repro eval --load-model causer.npz
     python -m repro serve --checkpoint causer.npz --port 8080
 
@@ -52,6 +53,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="data-generation seed")
     parser.add_argument("--quick", action="store_true",
                         help="2-epoch smoke mode")
+    parser.add_argument("--data-backend", choices=["memory", "eventlog"],
+                        default="memory",
+                        help="(train, eval) dataset substrate: 'memory' "
+                             "materialises Python basket tuples (default), "
+                             "'eventlog' streams batches straight from the "
+                             "memmapped columnar store in repro.data.eventlog "
+                             "with bounded resident memory (see docs/DATA.md); "
+                             "both backends yield bit-identical batches and "
+                             "loss trajectories for the same seed")
+    parser.add_argument("--eventlog-dir", metavar="DIR", default=None,
+                        help="(--data-backend eventlog) cache directory for "
+                             "generated event logs; default ./eventlogs.  An "
+                             "existing log for the same "
+                             "dataset/scale/seed is reused, not regenerated")
     parser.add_argument("--datasets", nargs="+", default=None,
                         help="restrict sweep/ablation datasets")
     parser.add_argument("--cells", nargs="+", default=None,
@@ -261,11 +276,40 @@ def parse_grid_params(entries: Optional[List[str]]) -> Dict[str, list]:
 
 def _dataset_and_split(args: argparse.Namespace,
                        settings: "BenchmarkSettings"):
-    from .data import load_dataset
     from .data.interactions import leave_one_out_split
-    dataset = load_dataset((args.datasets or ["baby"])[0],
-                           scale=settings.scale, seed=settings.data_seed)
+    name = (args.datasets or ["baby"])[0]
+    if getattr(args, "data_backend", "memory") == "eventlog":
+        dataset = _eventlog_dataset(name, settings, args)
+    else:
+        from .data import load_dataset
+        dataset = load_dataset(name, scale=settings.scale,
+                               seed=settings.data_seed)
     return dataset, leave_one_out_split(dataset.corpus)
+
+
+def _eventlog_dataset(name: str, settings: "BenchmarkSettings",
+                      args: argparse.Namespace):
+    """Load (or generate once and cache) the out-of-core event log.
+
+    The cache key is (profile, scale, seed), so repeated train/eval runs
+    over the same configuration reuse the shards on disk instead of
+    re-simulating.  Generation is shard-parallel when ``--workers`` asks
+    for it and bit-identical to serial either way.
+    """
+    from pathlib import Path
+
+    from .data import dataset_config, generate_eventlog, load_eventlog_dataset
+    root = Path(args.eventlog_dir) if args.eventlog_dir else Path("eventlogs")
+    path = root / (f"{name.lower()}-scale{settings.scale:g}"
+                   f"-seed{settings.data_seed}")
+    if (path / "header.json").exists():
+        print(f"data backend: eventlog (reusing {path})")
+        return load_eventlog_dataset(path)
+    config = dataset_config(name, scale=settings.scale,
+                            seed=settings.data_seed)
+    generate_eventlog(config, path, name=name.lower(), workers=args.workers)
+    print(f"data backend: eventlog (generated {path})")
+    return load_eventlog_dataset(path)
 
 
 def _print_eval(model_name: str, dataset_name: str, result, z: int) -> None:

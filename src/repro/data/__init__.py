@@ -9,6 +9,10 @@ padding/negative-sampling/batching, the derived explanation-label dataset
 from .batching import PaddedBatch, iterate_batches, pad_samples, sample_negatives
 from .datasets import (DATASET_NAMES, DEFAULT_SCALE, PAPER_STATISTICS,
                        dataset_config, load_all_datasets, load_dataset)
+from .eventlog import (EVENTLOG_FORMAT, EVENTLOG_VERSION, EvalSampleView,
+                       EventLogCorpus, EventLogDataset, EventLogStore,
+                       EventLogWriter, PrefixSampleView, generate_eventlog,
+                       load_eventlog_dataset, open_eventlog)
 from .explanation import (ExplanationSample, average_causes_per_sample,
                           build_explanation_dataset, to_eval_samples)
 from .features import (cluster_feature_coherence, feature_similarity,
@@ -36,6 +40,9 @@ __all__ = [
     "text_like_features", "gps_like_features", "feature_similarity",
     "cluster_feature_coherence",
     "PaddedBatch", "pad_samples", "sample_negatives", "iterate_batches",
+    "EVENTLOG_FORMAT", "EVENTLOG_VERSION", "EventLogWriter", "EventLogStore",
+    "EventLogCorpus", "EventLogDataset", "EvalSampleView", "PrefixSampleView",
+    "generate_eventlog", "load_eventlog_dataset", "open_eventlog",
     "ExplanationSample", "build_explanation_dataset",
     "average_causes_per_sample", "to_eval_samples",
     "DatasetStatistics", "compute_statistics", "sequence_length_histogram",

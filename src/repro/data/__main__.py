@@ -1,0 +1,137 @@
+"""Out-of-core event-log tooling: ``python -m repro.data``.
+
+Usage::
+
+    python -m repro.data generate --dataset baby --scale 0.05 --out logs/baby
+    python -m repro.data generate --users 200000 --items 5000 --out logs/big \
+        --workers 4 --users-per-shard 50000
+    python -m repro.data inspect logs/baby
+    python -m repro.data inspect logs/baby --head 10
+
+``generate`` simulates a corpus straight to memmapped columnar shards
+(bounded parent memory, shard-parallel with ``--workers``, bit-identical
+at any worker count); ``inspect`` prints the versioned header, the shard
+table and optionally the first events without loading any shard fully
+into memory.  See ``docs/DATA.md`` for the on-disk format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .datasets import DATASET_NAMES, DEFAULT_SCALE, dataset_config
+from .eventlog import generate_eventlog, open_eventlog
+from .synthetic import SimulatorConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.data",
+        description="Generate and inspect out-of-core columnar event logs.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser(
+        "generate", help="simulate a corpus straight to columnar shards")
+    gen.add_argument("--out", required=True, metavar="DIR",
+                     help="event-log directory to create (must not already "
+                          "hold a log)")
+    gen.add_argument("--dataset", choices=DATASET_NAMES, default=None,
+                     help="named Table II profile; omit to size the corpus "
+                          "explicitly with --users/--items")
+    gen.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                     help="(--dataset) scale relative to Table II sizes")
+    gen.add_argument("--users", type=int, default=None,
+                     help="explicit user count (ignores --dataset/--scale)")
+    gen.add_argument("--items", type=int, default=None,
+                     help="explicit item count (with --users)")
+    gen.add_argument("--clusters", type=int, default=10,
+                     help="(--users) latent item clusters")
+    gen.add_argument("--mean-length", type=float, default=8.0,
+                     help="(--users) mean sequence length")
+    gen.add_argument("--seed", type=int, default=0,
+                     help="simulator seed; the log is a pure function of "
+                          "the config+seed, regardless of --workers")
+    gen.add_argument("--workers", type=int, default=None,
+                     help="shard-generation processes; default CPU-aware, "
+                          "0/1 = serial, any value is bit-identical")
+    gen.add_argument("--users-per-shard", type=int, default=None,
+                     help="users per shard (also the parallel task size); "
+                          "default min(num_users, 200000)")
+    gen.add_argument("--name", default=None,
+                     help="corpus name recorded in the header meta")
+
+    ins = sub.add_parser(
+        "inspect", help="print header, shard table and head events")
+    ins.add_argument("path", help="event-log directory")
+    ins.add_argument("--head", type=int, default=0, metavar="N",
+                     help="also print the first N events")
+    return parser
+
+
+def _generate_config(args: argparse.Namespace) -> SimulatorConfig:
+    if args.users is not None:
+        if args.items is None:
+            raise SystemExit("error: --users requires --items")
+        return SimulatorConfig(
+            num_users=args.users, num_items=args.items,
+            num_clusters=args.clusters,
+            mean_sequence_length=args.mean_length, seed=args.seed)
+    if args.dataset is None:
+        raise SystemExit("error: generate needs --dataset NAME or "
+                         "--users N --items M")
+    return dataset_config(args.dataset, scale=args.scale, seed=args.seed)
+
+
+def _run_generate(args: argparse.Namespace) -> int:
+    config = _generate_config(args)
+    name = args.name or (args.dataset or "synthetic")
+    store = generate_eventlog(config, args.out, name=name,
+                              users_per_shard=args.users_per_shard,
+                              workers=args.workers)
+    print(f"wrote {store.path}: {store.num_users:,} users, "
+          f"{store.num_events:,} events, {store.num_baskets:,} baskets "
+          f"in {store.num_shards} shard(s)")
+    print(f"checksum: {store.checksum()}")
+    return 0
+
+
+def _run_inspect(args: argparse.Namespace) -> int:
+    store = open_eventlog(args.path)
+    meta = store.meta
+    print(f"event log: {store.path}")
+    print(f"  format: repro.eventlog v1  name={meta.get('name', '?')}  "
+          f"generator={meta.get('generator', '?')}")
+    print(f"  users={store.num_users:,}  items={store.num_items:,}  "
+          f"events={store.num_events:,}  baskets={store.num_baskets:,}")
+    corpus = store.corpus()
+    print(f"  avg sequence length={corpus.average_sequence_length:.2f}  "
+          f"sparsity={corpus.sparsity * 100:.2f}%")
+    print(f"  shards ({store.num_shards}):")
+    print(f"    {'k':>5} {'users':>10} {'baskets':>10} {'events':>12} "
+          f"{'user range':>21}")
+    for k, shard in enumerate(store.shards):
+        print(f"    {k:>5} {shard['users']:>10,} {shard['baskets']:>10,} "
+              f"{shard['events']:>12,} "
+              f"{shard['user_start']:>9,}-{shard['user_stop'] - 1:<10,}")
+    if args.head > 0:
+        user = store.column(0, "user")
+        item = store.column(0, "item")
+        ts = store.column(0, "ts")
+        n = min(args.head, item.shape[0])
+        print(f"  first {n} events (user, basket, item):")
+        for i in range(n):
+            print(f"    {int(user[i]):>8} {int(ts[i]):>6} {int(item[i]):>8}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _run_generate(args)
+    return _run_inspect(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

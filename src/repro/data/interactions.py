@@ -88,15 +88,19 @@ class SequenceCorpus:
         return 1.0 - self.num_interactions / (self.num_users * self.num_items)
 
     def sequence_lengths(self) -> np.ndarray:
-        return np.array([seq.length for seq in self.sequences], dtype=np.int64)
+        return np.fromiter((seq.length for seq in self.sequences),
+                           dtype=np.int64, count=len(self.sequences))
 
     def item_popularity(self) -> np.ndarray:
-        """Interaction count per item, index 0 unused (padding)."""
-        counts = np.zeros(self.num_items + 1, dtype=np.int64)
-        for seq in self.sequences:
-            for item in seq.items():
-                counts[item] += 1
-        return counts
+        """Interaction count per item, index 0 unused (padding).
+
+        One ``bincount`` over the flattened item stream instead of a
+        per-item Python increment loop.
+        """
+        flat = np.fromiter((item for seq in self.sequences
+                            for basket in seq.baskets for item in basket),
+                           dtype=np.int64)
+        return np.bincount(flat, minlength=self.num_items + 1)
 
     def __iter__(self) -> Iterator[UserSequence]:
         return iter(self.sequences)
@@ -131,6 +135,10 @@ def leave_one_out_split(corpus: SequenceCorpus, min_length: int = 3) -> Split:
     """
     if min_length < 3:
         raise ValueError("min_length below 3 cannot support a two-way holdout")
+    if hasattr(corpus, "streaming_split"):
+        # Out-of-core corpora (repro.data.eventlog) split by view: the
+        # holdout is a per-user length adjustment, not a data copy.
+        return corpus.streaming_split(min_length=min_length)
     train_sequences: List[UserSequence] = []
     validation: List[EvalSample] = []
     test: List[EvalSample] = []
@@ -157,7 +165,13 @@ def training_prefixes(corpus: SequenceCorpus, max_history: Optional[int] = None
     This realises the paper's eq. (1) sum over steps ``j``: every step with a
     non-empty history becomes a supervised sample.  ``max_history`` truncates
     long histories to their most recent steps.
+
+    Out-of-core corpora return a lazy view (same ordering, same samples)
+    instead of a materialized list; downstream code only needs
+    ``len``/``__getitem__``, which both provide.
     """
+    if hasattr(corpus, "prefix_samples"):
+        return corpus.prefix_samples(max_history=max_history)
     samples: List[EvalSample] = []
     for seq in corpus.sequences:
         for j in range(1, seq.length):

@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from .interactions import SequenceCorpus
 
 
@@ -68,12 +70,21 @@ def sequence_length_histogram(corpus: SequenceCorpus,
 
 
 def basket_size_distribution(corpus: SequenceCorpus) -> Dict[int, int]:
-    """Counts of baskets per basket size (diagnostic for next-basket data)."""
-    counts: Dict[int, int] = {}
-    for seq in corpus.sequences:
-        for basket in seq.baskets:
-            counts[len(basket)] = counts.get(len(basket), 0) + 1
-    return dict(sorted(counts.items()))
+    """Counts of baskets per basket size (diagnostic for next-basket data).
+
+    One ``bincount`` over the basket widths; out-of-core corpora
+    (``repro.data.eventlog``) count widths shard-by-shard instead of
+    iterating Python baskets.
+    """
+    if hasattr(corpus, "basket_size_counts"):
+        counts = corpus.basket_size_counts()
+    else:
+        widths = np.fromiter(
+            (len(basket) for seq in corpus.sequences
+             for basket in seq.baskets), dtype=np.int64)
+        counts = np.bincount(widths) if widths.size else widths
+    return {size: int(count) for size, count in enumerate(counts)
+            if size > 0 and count > 0}
 
 
 def compare_to_paper(stats: DatasetStatistics,

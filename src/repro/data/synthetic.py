@@ -43,6 +43,13 @@ from .interactions import SequenceCorpus, UserSequence
 
 CauseMap = Dict[int, Tuple[int, ...]]
 
+#: SeedSequence spawn-key tags for the simulator's independent streams.
+#: Per-user streams make generation invariant to worker count and shard
+#: size: user ``u`` always draws from ``SeedSequence(seed, spawn_key=
+#: (_USER_STREAM_TAG, u))`` no matter which process simulates it.
+_USER_STREAM_TAG = 1
+_FEATURE_STREAM_TAG = 2
+
 
 @dataclass
 class SimulatorConfig:
@@ -185,24 +192,60 @@ class BehaviorSimulator:
             self.cluster_graph.sum(axis=0) == 0)[0]
 
     # ------------------------------------------------------------------
-    def generate(self) -> SyntheticDataset:
-        """Generate the full dataset (corpus + features + annotations)."""
+    def user_rng(self, user_id: int) -> np.random.Generator:
+        """The dedicated RNG stream of one user.
+
+        Keyed by ``(seed, _USER_STREAM_TAG, user_id)``, so the stream is
+        identical whether the user is simulated serially, in a different
+        shard, or on a different worker — the contract behind the
+        event-log generator's bit-identical serial/parallel outputs.
+        """
+        seq = np.random.SeedSequence(self.config.seed,
+                                     spawn_key=(_USER_STREAM_TAG, user_id))
+        return np.random.default_rng(seq)
+
+    def feature_rng(self) -> np.random.Generator:
+        """The dedicated RNG stream for item raw features."""
+        seq = np.random.SeedSequence(self.config.seed,
+                                     spawn_key=(_FEATURE_STREAM_TAG,))
+        return np.random.default_rng(seq)
+
+    def generate_features(self, rng: Optional[np.random.Generator] = None
+                          ) -> np.ndarray:
+        """Item raw features; pass :meth:`feature_rng` for the keyed stream."""
+        cfg = self.config
+        if rng is None:
+            rng = self._rng
+        clusters = self.cluster_of_item * (self.cluster_of_item >= 0)
+        if cfg.feature_kind == "text":
+            features = text_like_features(clusters, cfg.feature_dim, rng)
+        else:
+            features = gps_like_features(clusters, rng)
+        features[0] = 0.0
+        return features
+
+    def generate(self, user_seeds: bool = False) -> SyntheticDataset:
+        """Generate the full dataset (corpus + features + annotations).
+
+        ``user_seeds=False`` (default) preserves the historical serial
+        stream: one generator drives every user in order.  With
+        ``user_seeds=True`` each user draws from :meth:`user_rng` and the
+        features from :meth:`feature_rng` — the exact draws the event-log
+        generator makes, so the in-memory and out-of-core backends produce
+        identical corpora for equivalence testing.
+        """
         cfg = self.config
         sequences: List[UserSequence] = []
         cause_log: List[List[CauseMap]] = []
         for user_id in range(cfg.num_users):
-            baskets, causes = self._simulate_user()
+            rng = self.user_rng(user_id) if user_seeds else None
+            baskets, causes = self._simulate_user(rng)
             sequences.append(UserSequence(user_id=user_id,
                                           baskets=tuple(baskets)))
             cause_log.append(causes)
         corpus = SequenceCorpus(num_items=cfg.num_items, sequences=sequences)
-        if cfg.feature_kind == "text":
-            features = text_like_features(self.cluster_of_item * (self.cluster_of_item >= 0),
-                                          cfg.feature_dim, self._rng)
-        else:
-            features = gps_like_features(self.cluster_of_item * (self.cluster_of_item >= 0),
-                                         self._rng)
-        features[0] = 0.0
+        features = self.generate_features(
+            self.feature_rng() if user_seeds else None)
         return SyntheticDataset(name=self.name, config=cfg, corpus=corpus,
                                 features=features,
                                 cluster_of_item=self.cluster_of_item,
@@ -210,9 +253,11 @@ class BehaviorSimulator:
                                 cause_log=cause_log)
 
     # ------------------------------------------------------------------
-    def _simulate_user(self) -> Tuple[List[Tuple[int, ...]], List[CauseMap]]:
+    def _simulate_user(self, rng: Optional[np.random.Generator] = None
+                       ) -> Tuple[List[Tuple[int, ...]], List[CauseMap]]:
         cfg = self.config
-        rng = self._rng
+        if rng is None:
+            rng = self._rng
         preference = rng.dirichlet(
             np.full(cfg.num_clusters, cfg.preference_concentration))
         length = int(np.clip(rng.geometric(1.0 / cfg.mean_sequence_length),
@@ -226,7 +271,7 @@ class BehaviorSimulator:
             for slot in range(cfg.max_basket_size):
                 if slot > 0 and rng.random() >= cfg.basket_extra_prob:
                     break
-                item, cause = self._sample_item(history, preference)
+                item, cause = self._sample_item(history, preference, rng)
                 if item not in basket:
                     basket.append(item)
                     basket_causes[item] = cause
@@ -235,22 +280,21 @@ class BehaviorSimulator:
             history.extend(basket)
         return baskets, causes
 
-    def _sample_item(self, history: List[int],
-                     preference: np.ndarray) -> Tuple[int, Tuple[int, ...]]:
+    def _sample_item(self, history: List[int], preference: np.ndarray,
+                     rng: np.random.Generator) -> Tuple[int, Tuple[int, ...]]:
         """Sample one item; return ``(item, cause_items)``."""
         cfg = self.config
-        rng = self._rng
         if history and rng.random() < cfg.causal_follow_prob:
             # Retry a few triggers: a user acting causally follows *some*
             # past item that has consequences, not necessarily the first
             # one that comes to mind.
             for _ in range(3):
-                trigger = self._pick_trigger(history)
+                trigger = self._pick_trigger(history, rng)
                 trigger_cluster = int(self.cluster_of_item[trigger])
                 child_clusters = np.nonzero(self.cluster_graph[trigger_cluster])[0]
                 if len(child_clusters) > 0:
                     child = int(rng.choice(child_clusters))
-                    item = self._pick_effect_item(trigger, child)
+                    item = self._pick_effect_item(trigger, child, rng)
                     return item, (trigger,)
         if rng.random() < cfg.noise_prob:
             # Pure popularity noise, causally irrelevant.
@@ -262,11 +306,11 @@ class BehaviorSimulator:
             cluster = int(rng.choice(self._root_clusters, p=root_pref))
         else:
             cluster = int(rng.choice(cfg.num_clusters, p=preference))
-        return self._pick_item_from_cluster(cluster), ()
+        return self._pick_item_from_cluster(cluster, rng), ()
 
-    def _pick_trigger(self, history: List[int]) -> int:
+    def _pick_trigger(self, history: List[int],
+                      rng: np.random.Generator) -> int:
         """Recency-biased trigger choice (geometric decay toward the past)."""
-        rng = self._rng
         weights = np.power(self.config.recency_decay,
                            np.arange(len(history))[::-1])
         probs = weights / weights.sum()
@@ -287,16 +331,16 @@ class BehaviorSimulator:
         idx = (start + np.arange(fanout)) % len(members)
         return members[idx]
 
-    def _pick_effect_item(self, trigger: int, child_cluster: int) -> int:
+    def _pick_effect_item(self, trigger: int, child_cluster: int,
+                          rng: np.random.Generator) -> int:
         """Sample the effect of a causal step (affinity-aware)."""
-        rng = self._rng
         preferred = self.preferred_effects(trigger, child_cluster)
         if len(preferred) and rng.random() < self.config.affinity_strength:
             return int(rng.choice(preferred))
-        return self._pick_item_from_cluster(child_cluster)
+        return self._pick_item_from_cluster(child_cluster, rng)
 
-    def _pick_item_from_cluster(self, cluster: int) -> int:
-        rng = self._rng
+    def _pick_item_from_cluster(self, cluster: int,
+                                rng: np.random.Generator) -> int:
         members = self._items_by_cluster[cluster]
         if len(members) == 0:
             # Degenerate config: fall back to the global popularity draw.

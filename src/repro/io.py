@@ -204,6 +204,50 @@ def _construct(cls, class_name: str, header, config, features):
     return cls(header["num_users"], header["num_items"], config, **extra)
 
 
+# ----------------------------------------------------------------------
+# Generic versioned JSON headers (shared by on-disk stores outside model
+# checkpoints, e.g. the columnar event log in ``repro.data.eventlog``).
+# ----------------------------------------------------------------------
+def write_json_header(path: PathLike, format_name: str, version: int,
+                      payload: Mapping) -> None:
+    """Write ``header.json``-style metadata with format name + version.
+
+    The ``format``/``format_version`` keys come first so a truncated or
+    hand-inspected header still identifies itself; ``payload`` keys must
+    not collide with them.
+    """
+    header = {"format": format_name, "format_version": int(version)}
+    for key in payload:
+        if key in header:
+            raise ValueError(f"payload key {key!r} collides with the "
+                             f"reserved header fields")
+    header.update(payload)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(header, fh, indent=1, sort_keys=False)
+
+
+def read_json_header(path: PathLike, format_name: str,
+                     version: int) -> Dict[str, object]:
+    """Read and validate a header written by :func:`write_json_header`.
+
+    Raises :class:`ValueError` (naming the file) when the format name or
+    version does not match — the same contract model checkpoints follow,
+    so stale on-disk stores fail loudly instead of being misparsed.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        header = json.load(fh)
+    found = header.get("format")
+    if found != format_name:
+        raise ValueError(f"{path}: expected format {format_name!r}, "
+                         f"found {found!r}")
+    found_version = header.get("format_version")
+    if found_version != version:
+        raise ValueError(
+            f"{path}: unsupported {format_name} format_version "
+            f"{found_version!r} (this build reads version {version})")
+    return header
+
+
 #: Bumped whenever the optimizer-state archive layout changes.
 OPTIMIZER_STATE_VERSION = 1
 

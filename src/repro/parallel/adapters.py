@@ -24,9 +24,33 @@ from ..exp.runner import RunResult, run_model
 from .pool import process_map, resolve_workers, unwrap
 
 __all__ = [
-    "evaluate_model_sharded", "grid_scores_parallel", "map_seeds",
-    "run_models_parallel", "run_table_cells", "shard_batch_ranges",
+    "evaluate_model_sharded", "generate_shards_parallel",
+    "grid_scores_parallel", "map_seeds", "run_models_parallel",
+    "run_table_cells", "shard_batch_ranges",
 ]
+
+
+# ----------------------------------------------------------------------
+# Event-log generation: one process per shard of users
+# ----------------------------------------------------------------------
+def generate_shards_parallel(config, name: str,
+                             user_ranges: Sequence[Tuple[int, int]], *,
+                             workers: Optional[int] = None,
+                             timeout: Optional[float] = None) -> List:
+    """Simulate contiguous user ranges in parallel; ordered column tuples.
+
+    Each task rebuilds the simulator from ``config`` (deterministic) and
+    draws every user from its keyed per-user stream, so results depend
+    only on the user range — the bit-identity contract of
+    :func:`repro.data.eventlog.generate_eventlog`.  The import is lazy to
+    keep ``repro.data`` importable without the model stack.
+    """
+    from ..data.eventlog import _simulate_shard_task
+    specs = [(config, name, int(start), int(stop))
+             for start, stop in user_ranges]
+    results = process_map(_simulate_shard_task, specs, workers=workers,
+                          timeout=timeout)
+    return unwrap(results, context="eventlog shard")
 
 
 # ----------------------------------------------------------------------

@@ -12,7 +12,7 @@ import pytest
 from repro.analysis.cli import main
 
 RULE_IDS = ("GL001", "GL002", "GL003", "GL004", "GL005", "GL006", "GL007",
-            "CL001", "CL002", "CL003", "CL004", "CL005")
+            "GL008", "CL001", "CL002", "CL003", "CL004", "CL005")
 
 
 @pytest.fixture
@@ -48,6 +48,16 @@ def violating_tree(tmp_path):
                 model.step()
             except:
                 pass
+    """))
+    # GL008: memmap inflation in a repro/data module.
+    data = tmp_path / "repro" / "data"
+    data.mkdir(parents=True)
+    (data / "loader.py").write_text(textwrap.dedent("""
+        import numpy as np
+
+        def load_column(path):
+            col = np.load(path, mmap_mode="r")
+            return np.asarray(col)
     """))
     # CL001–CL005 in one server module.
     (pkg / "server.py").write_text(textwrap.dedent("""
@@ -108,7 +118,7 @@ def test_json_format(violating_tree, capsys):
     assert main([str(violating_tree), "--format", "json"]) == 1
     payload = json.loads(capsys.readouterr().out)
     assert payload["schema"] == "repro.analysis/v2"
-    assert payload["files_checked"] == 5
+    assert payload["files_checked"] == 6
     found_rules = {f["rule"] for f in payload["findings"]}
     assert found_rules == set(RULE_IDS)
     sample = payload["findings"][0]

@@ -265,6 +265,61 @@ class TestDenseGradAssumption:
         assert suppressed == 1
 
 
+class TestMemmapInflation:
+    DATA_PATH = "src/repro/data/eventlog.py"
+
+    def test_tainted_name_flagged(self):
+        findings, _ = run("""
+        col = np.load(path, mmap_mode="r")
+        dense = np.asarray(col)
+        """, path=self.DATA_PATH, select=["GL008"])
+        assert rule_ids(findings) == ["GL008"]
+        assert "slice" in findings[0].message
+
+    def test_direct_nesting_flagged(self):
+        findings, _ = run('dense = np.array(np.load(p, mmap_mode="r"))',
+                          path=self.DATA_PATH, select=["GL008"])
+        assert rule_ids(findings) == ["GL008"]
+
+    def test_column_view_flagged(self):
+        findings, _ = run("""
+        items = store.column(k, "item")
+        flat = np.ascontiguousarray(items)
+        """, path=self.DATA_PATH, select=["GL008"])
+        assert rule_ids(findings) == ["GL008"]
+
+    def test_sliced_window_clean(self):
+        # Converting a slice is the sanctioned idiom: the copy is O(window).
+        findings, _ = run("""
+        col = np.load(path, mmap_mode="r")
+        window = np.asarray(col[start:stop])
+        """, path=self.DATA_PATH, select=["GL008"])
+        assert findings == []
+
+    def test_plain_load_clean(self):
+        # Without mmap_mode, np.load already returns a resident array.
+        findings, _ = run("""
+        col = np.load(path)
+        dense = np.asarray(col)
+        """, path=self.DATA_PATH, select=["GL008"])
+        assert findings == []
+
+    def test_non_data_files_out_of_scope(self):
+        findings, _ = run("""
+        col = np.load(path, mmap_mode="r")
+        dense = np.asarray(col)
+        """, path="src/repro/io.py", select=["GL008"])
+        assert findings == []
+
+    def test_suppression_applies(self):
+        findings, suppressed = run("""
+        col = store.column(k, "user")
+        dense = np.asarray(col)  # gradlint: disable=GL008 — tiny index col
+        """, path=self.DATA_PATH, select=["GL008"])
+        assert findings == []
+        assert suppressed == 1
+
+
 class TestSuppression:
     def test_inline_disable(self):
         findings, suppressed = run("np.random.seed(0)  # gradlint: disable=GL004 — fixture")

@@ -76,6 +76,17 @@ class TestSampleNegatives:
                       batch.positives[:, None, None, :]).any()
         assert not collisions
 
+    def test_never_collides_with_history(self):
+        # Negatives a user actually interacted with are not negative
+        # evidence: draws are rejected against the flattened history too.
+        batch = pad_samples([sample(0, [[1, 2], [3]], [4]),
+                             sample(1, [[5], [6, 7]], [8])])
+        for seed in range(10):
+            neg = sample_negatives(batch, num_items=9, num_negatives=6,
+                                   rng=np.random.default_rng(seed))
+            for row, history in enumerate(batch.flat_history_sets()):
+                assert not history.intersection(neg[row].ravel().tolist())
+
     def test_range(self):
         batch = pad_samples([sample(0, [[1]], [2])])
         neg = sample_negatives(batch, num_items=7, num_negatives=20,
@@ -90,10 +101,11 @@ class TestSampleNegatives:
                              rng=np.random.default_rng(0))
 
     def test_tiny_catalog_resolved_exactly(self):
-        # Positives cover 3 of 4 items, so rejection sampling alone would
-        # almost surely leave collisions after 8 passes; the exact
-        # complement fallback must fill every slot with the only legal item.
-        batch = pad_samples([sample(0, [[4]], [1, 2, 3])])
+        # History + positives cover 3 of 4 items, so rejection sampling
+        # alone would almost surely leave collisions after 8 passes; the
+        # exact complement fallback must fill every slot with the only
+        # legal item.
+        batch = pad_samples([sample(0, [[3]], [1, 2])])
         for seed in range(20):
             neg = sample_negatives(batch, num_items=4, num_negatives=6,
                                    rng=np.random.default_rng(seed))
@@ -101,7 +113,7 @@ class TestSampleNegatives:
 
     def test_tiny_catalog_mixed_rows(self):
         # One dense row (single legal negative) next to a sparse row.
-        batch = pad_samples([sample(0, [[4]], [1, 2, 3]),
+        batch = pad_samples([sample(0, [[3]], [1, 2]),
                              sample(1, [[1]], [2])])
         neg = sample_negatives(batch, num_items=4, num_negatives=5,
                                rng=np.random.default_rng(7))
@@ -110,7 +122,8 @@ class TestSampleNegatives:
                       batch.positives[:, None, None, :]).any()
         assert not collisions
 
-    def test_all_items_positive_raises(self):
+    def test_all_items_excluded_raises(self):
+        # History {1} plus targets {1, 2} cover the whole catalog.
         batch = pad_samples([sample(0, [[1]], [1, 2])])
         with pytest.raises(ValueError, match="no negative exists"):
             sample_negatives(batch, num_items=2, num_negatives=1,

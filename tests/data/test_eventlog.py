@@ -1,0 +1,292 @@
+"""Tests for the out-of-core columnar event log (repro.data.eventlog).
+
+The contracts under test, in order of importance:
+
+* shard-parallel generation is bit-identical to serial at any worker
+  count (same shard files, byte for byte);
+* the eventlog backend is observationally equivalent to the in-memory
+  corpus built from the same per-user seed streams — same statistics,
+  same leave-one-out splits, same training batches, and therefore the
+  same loss trajectory through a real model;
+* the writer validates its input and the header is versioned.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import (BehaviorSimulator, SimulatorConfig, EventLogWriter,
+                        generate_eventlog, iterate_batches,
+                        load_eventlog_dataset, open_eventlog, pad_samples,
+                        training_prefixes)
+from repro.data.interactions import leave_one_out_split
+
+CONFIG = SimulatorConfig(num_users=60, num_items=80, num_clusters=6, seed=11)
+
+
+@pytest.fixture(scope="module")
+def log_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("eventlog") / "corpus"
+    generate_eventlog(CONFIG, path, users_per_shard=25)
+    return path
+
+
+@pytest.fixture(scope="module")
+def memory_dataset():
+    # user_seeds=True draws every user from the same keyed streams the
+    # event-log generator uses — the in-memory twin of the shards.
+    return BehaviorSimulator(CONFIG).generate(user_seeds=True)
+
+
+class TestWriterValidation:
+    def test_user_ids_must_increase(self, tmp_path):
+        writer = EventLogWriter(tmp_path / "log", num_items=10)
+        writer.add_user(4, [[1, 2]])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            writer.add_user(4, [[3]])
+
+    def test_empty_basket_rejected(self, tmp_path):
+        writer = EventLogWriter(tmp_path / "log", num_items=10)
+        with pytest.raises(ValueError, match="non-empty"):
+            writer.add_user(0, [[1], []])
+
+    def test_item_range_enforced(self, tmp_path):
+        writer = EventLogWriter(tmp_path / "log", num_items=10)
+        with pytest.raises(ValueError, match=r"\[1, 10\]"):
+            writer.add_user(0, [[11]])
+        with pytest.raises(ValueError, match=r"\[1, 10\]"):
+            writer.add_user(0, [[0]])
+
+    def test_ts_must_be_dense(self, tmp_path):
+        writer = EventLogWriter(tmp_path / "log", num_items=10)
+        with pytest.raises(ValueError, match="start at basket index 0"):
+            writer.add_user_columns(0, np.array([1], dtype=np.int32),
+                                    np.array([1], dtype=np.int32))
+        with pytest.raises(ValueError, match="dense basket indices"):
+            writer.add_user_columns(0, np.array([1, 2], dtype=np.int32),
+                                    np.array([0, 2], dtype=np.int32))
+
+    def test_empty_log_rejected(self, tmp_path):
+        writer = EventLogWriter(tmp_path / "log", num_items=10)
+        with pytest.raises(ValueError, match="zero events"):
+            writer.close()
+
+    def test_refuses_to_overwrite(self, tmp_path):
+        with EventLogWriter(tmp_path / "log", num_items=10) as writer:
+            writer.add_user(0, [[1]])
+        with pytest.raises(FileExistsError):
+            EventLogWriter(tmp_path / "log", num_items=10)
+
+    def test_shard_rotation_at_user_boundary(self, tmp_path):
+        with EventLogWriter(tmp_path / "log", num_items=10,
+                            shard_events=3) as writer:
+            for user in range(4):
+                writer.add_user(user, [[1, 2], [3]])  # 3 events each
+        store = open_eventlog(tmp_path / "log")
+        assert store.num_shards == 4
+        assert [s["users"] for s in store.shards] == [1, 1, 1, 1]
+
+
+class TestHeaderVersioning:
+    def test_bad_version_rejected(self, tmp_path):
+        with EventLogWriter(tmp_path / "log", num_items=10) as writer:
+            writer.add_user(0, [[1]])
+        header_path = tmp_path / "log" / "header.json"
+        header = json.loads(header_path.read_text())
+        header["format_version"] = 99
+        header_path.write_text(json.dumps(header))
+        with pytest.raises(ValueError, match="version"):
+            open_eventlog(tmp_path / "log")
+
+    def test_bad_format_rejected(self, tmp_path):
+        with EventLogWriter(tmp_path / "log", num_items=10) as writer:
+            writer.add_user(0, [[1]])
+        header_path = tmp_path / "log" / "header.json"
+        header = json.loads(header_path.read_text())
+        header["format"] = "something.else"
+        header_path.write_text(json.dumps(header))
+        with pytest.raises(ValueError, match="format"):
+            open_eventlog(tmp_path / "log")
+
+
+class TestParallelBitIdentity:
+    """The acceptance contract: worker count never changes the bytes."""
+
+    def test_any_worker_count_same_bytes(self, tmp_path):
+        stores = {}
+        for workers in (1, 2, 3):
+            path = tmp_path / f"w{workers}"
+            stores[workers] = generate_eventlog(
+                CONFIG, path, users_per_shard=25, workers=workers)
+        checksums = {w: s.checksum() for w, s in stores.items()}
+        assert len(set(checksums.values())) == 1
+        # Belt and braces: compare the raw shard files too.
+        serial_files = sorted(p.name for p in stores[1].path.iterdir()
+                              if p.suffix == ".npy")
+        for workers in (2, 3):
+            for name in serial_files:
+                assert ((stores[workers].path / name).read_bytes()
+                        == (stores[1].path / name).read_bytes()), name
+
+    def test_shard_size_does_not_change_users(self, tmp_path):
+        coarse = generate_eventlog(CONFIG, tmp_path / "coarse")
+        fine = generate_eventlog(CONFIG, tmp_path / "fine",
+                                 users_per_shard=7)
+        assert coarse.num_shards == 1 and fine.num_shards == 9
+        for (ga, ia, ta), (gb, ib, tb) in zip(coarse.iter_users(),
+                                              fine.iter_users()):
+            assert ga == gb
+            assert np.array_equal(ia, ib) and np.array_equal(ta, tb)
+
+
+class TestBackendEquivalence:
+    def test_statistics_match(self, log_dir, memory_dataset):
+        corpus = open_eventlog(log_dir).corpus()
+        mem = memory_dataset.corpus
+        assert corpus.num_users == mem.num_users
+        assert corpus.num_items == mem.num_items
+        assert corpus.num_interactions == mem.num_interactions
+        assert corpus.average_sequence_length == mem.average_sequence_length
+        assert np.array_equal(corpus.sequence_lengths(),
+                              mem.sequence_lengths())
+        assert np.array_equal(corpus.item_popularity(), mem.item_popularity())
+
+    def test_baskets_match(self, log_dir, memory_dataset):
+        corpus = open_eventlog(log_dir).corpus()
+        for seq_log, seq_mem in zip(corpus, memory_dataset.corpus.sequences):
+            assert seq_log.user_id == seq_mem.user_id
+            assert seq_log.baskets == seq_mem.baskets
+
+    def test_features_and_truth_match(self, log_dir, memory_dataset):
+        dataset = load_eventlog_dataset(log_dir)
+        assert np.array_equal(dataset.features, memory_dataset.features)
+        assert np.array_equal(dataset.cluster_of_item,
+                              memory_dataset.cluster_of_item)
+        assert np.array_equal(dataset.cluster_graph,
+                              memory_dataset.cluster_graph)
+
+    def test_split_matches(self, log_dir, memory_dataset):
+        split_log = leave_one_out_split(open_eventlog(log_dir).corpus())
+        split_mem = leave_one_out_split(memory_dataset.corpus)
+        for kind in ("validation", "test"):
+            view = getattr(split_log, kind)
+            samples = getattr(split_mem, kind)
+            assert len(view) == len(samples)
+            assert list(view) == list(samples)
+        # The training corpus hides the same two baskets per user.
+        assert np.array_equal(split_log.train.sequence_lengths(),
+                              np.fromiter((len(s.baskets)
+                                           for s in split_mem.train.sequences),
+                                          dtype=np.int64))
+        assert np.array_equal(split_log.train.item_popularity(),
+                              split_mem.train.item_popularity())
+
+    def test_training_prefixes_match(self, log_dir, memory_dataset):
+        split_log = leave_one_out_split(open_eventlog(log_dir).corpus())
+        split_mem = leave_one_out_split(memory_dataset.corpus)
+        view = training_prefixes(split_log.train, max_history=10)
+        samples = training_prefixes(split_mem.train, max_history=10)
+        assert len(view) == len(samples)
+        assert list(view) == samples
+        # Random access agrees with iteration.
+        assert view[0] == samples[0]
+        assert view[len(view) - 1] == samples[-1]
+        assert list(view[3:7]) == samples[3:7]
+
+    def test_gather_batch_bit_identical_to_pad_samples(self, log_dir,
+                                                       memory_dataset):
+        split_log = leave_one_out_split(open_eventlog(log_dir).corpus())
+        split_mem = leave_one_out_split(memory_dataset.corpus)
+        view = training_prefixes(split_log.train)
+        samples = training_prefixes(split_mem.train)
+        batches_log = list(iterate_batches(view, 16,
+                                           np.random.default_rng(5),
+                                           max_history=8))
+        batches_mem = list(iterate_batches(samples, 16,
+                                           np.random.default_rng(5),
+                                           max_history=8))
+        assert len(batches_log) == len(batches_mem)
+        for got, want in zip(batches_log, batches_mem):
+            for field in ("users", "items", "basket_mask", "step_mask",
+                          "positives", "positive_mask"):
+                a, b = getattr(got, field), getattr(want, field)
+                assert a.dtype == b.dtype, field
+                assert np.array_equal(a, b), field
+
+    def test_loss_trajectories_match(self, log_dir, memory_dataset):
+        from repro.models import GRU4Rec, TrainConfig
+        cfg = TrainConfig(embedding_dim=8, hidden_dim=8, num_epochs=3,
+                          batch_size=16, seed=0)
+        losses = {}
+        for backend, corpus in (
+                ("eventlog", open_eventlog(log_dir).corpus()),
+                ("memory", memory_dataset.corpus)):
+            split = leave_one_out_split(corpus)
+            model = GRU4Rec(corpus.num_users, corpus.num_items, cfg)
+            losses[backend] = model.fit(split.train).epoch_losses
+        assert losses["eventlog"] == losses["memory"]
+
+
+class TestPrefixSampleView:
+    def test_gather_batch_without_max_history(self, log_dir):
+        view = training_prefixes(open_eventlog(log_dir).corpus())
+        indices = np.arange(min(12, len(view)))
+        batch = view.gather_batch(indices)
+        reference = pad_samples([view[int(i)] for i in indices])
+        assert np.array_equal(batch.items, reference.items)
+        assert np.array_equal(batch.positives, reference.positives)
+
+    def test_length_counts_prefixes(self, log_dir, memory_dataset):
+        view = training_prefixes(open_eventlog(log_dir).corpus())
+        expected = sum(len(s.baskets) - 1
+                       for s in memory_dataset.corpus.sequences)
+        assert len(view) == expected
+
+
+class TestOnlineExport:
+    def test_export_columnar_roundtrip(self, tmp_path):
+        from repro.online import EventLog
+        log = EventLog(tmp_path / "log")
+        log.append(7, [2, 5])
+        log.append(1, [9])
+        log.append(7, [4])
+        log.append(1, [])  # empty baskets carry no signal: dropped
+        store = log.export_columnar(tmp_path / "columnar", num_items=10)
+        log.close()
+        assert store.num_users == 2
+        assert store.num_events == 4
+        users = {gid: (items.tolist(), ts.tolist())
+                 for gid, items, ts in store.iter_users()}
+        assert users == {1: ([9], [0]), 7: ([2, 5, 4], [0, 0, 1])}
+
+    def test_export_replays_into_corpus(self, tmp_path):
+        from repro.online import EventLog
+        log = EventLog(tmp_path / "log")
+        for user in range(4):
+            for basket in ([1, 2], [3], [4]):
+                log.append(user, basket)
+        corpus = log.export_columnar(tmp_path / "columnar",
+                                     num_items=5).corpus()
+        log.close()
+        assert corpus.num_users == 4
+        assert corpus.num_interactions == 16
+        split = leave_one_out_split(corpus)
+        assert len(split.test) == 4
+
+
+class TestDataCli:
+    def test_generate_and_inspect(self, tmp_path, capsys):
+        from repro.data.__main__ import main
+        out = tmp_path / "cli-log"
+        assert main(["generate", "--users", "30", "--items", "40",
+                     "--seed", "2", "--out", str(out),
+                     "--users-per-shard", "12"]) == 0
+        assert main(["inspect", str(out), "--head", "3"]) == 0
+        printed = capsys.readouterr().out
+        assert "30" in printed and "shards (3)" in printed
+
+    def test_generate_requires_sizing(self):
+        from repro.data.__main__ import main
+        with pytest.raises(SystemExit):
+            main(["generate", "--out", "/tmp/never-created"])
